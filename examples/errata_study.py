@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""The motivating data: which bugs escape conventional validation?
+
+Reproduces Table 1.1 -- the classification of the MIPS R4000's 46
+published errata by what interacted to cause each error -- and lists the
+multiple-event entries, the class the paper's methodology targets.
+
+Usage::
+
+    python examples/errata_study.py
+"""
+
+from repro.errata import BugClass, R4000_ERRATA, classify
+from repro.errata.classify import format_table
+
+
+def main() -> None:
+    print(format_table())
+    print("\nmultiple-event errata (the hard class):")
+    for erratum in R4000_ERRATA:
+        if classify(erratum) is BugClass.MULTIPLE_EVENT:
+            units = "+".join(erratum.units)
+            print(f"  #{erratum.number:>2} [{units}] {erratum.summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro: a reproduction of "Architecture Validation for Processors"
+(Ho, Yang, Horowitz, Dill -- ISCA 1995).
+
+Coverage-driven validation for processor control logic: translate the
+design to interacting FSMs, fully enumerate the control state graph,
+generate transition tours covering every arc, map them to test vectors,
+and simulate implementation vs specification to expose "multiple event"
+corner-case bugs.
+
+Quickstart::
+
+    from repro.core import ValidationPipeline
+    pipeline = ValidationPipeline()
+    report = pipeline.validate()          # clean design: no divergence
+    print(report.summary())
+
+Package map
+-----------
+- ``repro.smurphi``      Synchronous Murphi modeling language
+- ``repro.enumeration``  full state enumeration (section 3.2)
+- ``repro.tour``         transition tours, Fig. 3.3 + Chinese Postman
+- ``repro.vectors``      transition-condition mapping to test vectors
+- ``repro.hdl``          synthesizable-Verilog front end
+- ``repro.translate``    HDL -> FSM translation (section 3.1)
+- ``repro.pp``           the Stanford FLASH Protocol Processor substrate
+- ``repro.bugs``         the six Table 2.1 bugs, injectable
+- ``repro.harness``      implementation-vs-spec comparison + baselines
+- ``repro.errata``       the R4000 errata study (Table 1.1)
+- ``repro.core``         the end-to-end pipeline (Fig. 3.1)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""Bug-injection framework: the six Table 2.1 bugs as switchable mutations.
+
+Each bug is implemented as a guarded deviation inside the RTL model (see
+``repro.pp.rtl``); this package is the registry that names them, documents
+their trigger scenarios, and builds injected configurations.
+"""
+
+from repro.bugs.catalog import Bug, BUGS, ALL_BUG_IDS, bug_table
+from repro.bugs.injector import inject, injected_config
+
+__all__ = ["Bug", "BUGS", "ALL_BUG_IDS", "bug_table", "inject", "injected_config"]

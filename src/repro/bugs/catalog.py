@@ -1,0 +1,151 @@
+"""The catalog of discovered PP bugs (Table 2.1 of the paper).
+
+Each entry reproduces one of the six bugs the generated vectors found in
+the "mature" PP design but that hand-written and random vectors had not.
+The ``trigger`` field spells out the multiple-event conjunction required,
+which is what makes these bugs improbable under random stimulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Bug:
+    """One entry of Table 2.1."""
+
+    bug_id: int
+    title: str
+    explanation: str
+    trigger: str
+    #: Which units the bug's events span (for the multiple-event taxonomy).
+    units: Tuple[str, ...]
+
+
+BUGS: Dict[int, Bug] = {
+    1: Bug(
+        bug_id=1,
+        title=(
+            "Interface miscommunication between PP's cache controller and "
+            "the Memory Controller."
+        ),
+        explanation=(
+            "Qualification of an interface signal was needed, but the two "
+            "units thought that the other would perform it. The bug "
+            "manifested itself as incorrect data being returned to the "
+            "I-Cache."
+        ),
+        trigger=(
+            "An I-cache refill outstanding while a D-cache refill's words "
+            "stream back: the unqualified data-valid lets the D-transfer "
+            "clobber the I-line buffer."
+        ),
+        units=("icache", "memctrl", "dcache"),
+    ),
+    2: Bug(
+        bug_id=2,
+        title="Latch not qualified on all stall conditions and lost data.",
+        explanation=(
+            "On a simultaneous I & D Cache miss, the latch holding the data "
+            "that was to be returned after the D-Cache refill was not "
+            "qualified on the I-Stall and lost its data by the time the "
+            "I-Cache miss was serviced."
+        ),
+        trigger=(
+            "A load D-miss whose critical word returns while an I-cache "
+            "refill is simultaneously in progress."
+        ),
+        units=("dcache", "icache", "stall"),
+    ),
+    3: Bug(
+        bug_id=3,
+        title=(
+            "Cache conflict stall can cause wrong address to be used on the "
+            "stalled load."
+        ),
+        explanation=(
+            "The address used in the load of a conflict stall was not held "
+            "during the stall. If there was no following instruction that "
+            "used the address bus of the cache, the correct address from "
+            "the load remained. However, if the load in the conflict stall "
+            "was followed by another load/store instruction, the address of "
+            "the following load/store was erroneously used."
+        ),
+        trigger=(
+            "A load conflicting with a pending split store, with another "
+            "load/store immediately behind it in the pipe."
+        ),
+        units=("dcache", "pipeline"),
+    ),
+    4: Bug(
+        bug_id=4,
+        title="I-Stall fix-up cycle lost if I-Stall condition occurs during Mem-Stall.",
+        explanation=(
+            "The I-Cache refill machine takes a cycle to restore the "
+            "correct values to the instruction registers after an I-Stall. "
+            "However, it was not qualified on MemStall, so was lost if the "
+            "I-Stall condition arose after MemStall was asserted. This can "
+            "happen if a switch or send is executing in the stalled "
+            "instruction and the external unit signals the PP to wait."
+        ),
+        trigger=(
+            "An I-miss refill finishing its fix-up cycle while a switch/"
+            "send external stall (MemStall) is asserted."
+        ),
+        units=("icache", "stall", "inbox", "outbox"),
+    ),
+    5: Bug(
+        bug_id=5,
+        title=(
+            "Glitch on bus valid signal allows Z values to be latched on a "
+            "load that missed followed by any other load/store instruction "
+            "interrupted by an external stall condition."
+        ),
+        explanation=(
+            "A load that missed drives its critical word onto Membus; a "
+            "following load/store glitches the Membus-valid signal after "
+            "the word is driven, latching high-impedance garbage. The "
+            "refill logic re-drives the data a second time (masking the "
+            "glitch) -- unless an external stall arises between the glitch "
+            "and the second write, leaving garbage in the register file."
+        ),
+        trigger=(
+            "Load D-miss + following load/store in the pipe + external "
+            "stall landing inside the refill window."
+        ),
+        units=("dcache", "membus", "stall", "inbox", "outbox"),
+    ),
+    6: Bug(
+        bug_id=6,
+        title=(
+            "Cache conflict stall with D-Cache hit and simultaneous I-stall "
+            "results in stale data being loaded."
+        ),
+        explanation=(
+            "A cache conflict stall occurs because of the split store "
+            "operation. When the address of the load following a store is "
+            "the same as the store, a conflict stall is taken to write out "
+            "the store data before loading it. When there is a simultaneous "
+            "I-stall caused by an external condition, the load receives the "
+            "stale data instead of the newly written data."
+        ),
+        trigger=(
+            "Store + load to the same line (conflict stall) while an "
+            "I-cache refill is simultaneously in progress."
+        ),
+        units=("dcache", "icache", "stall"),
+    ),
+}
+
+ALL_BUG_IDS: Tuple[int, ...] = tuple(sorted(BUGS))
+
+
+def bug_table() -> str:
+    """Render the catalog in the shape of Table 2.1."""
+    lines = ["Bug  Description"]
+    for bug in BUGS.values():
+        lines.append(f"{bug.bug_id:>3}  {bug.title}")
+        lines.append(f"     {bug.explanation}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Injection helpers: build core configurations with selected bugs armed."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.bugs.catalog import BUGS
+from repro.pp.rtl.core import CoreConfig
+
+
+def inject(config: CoreConfig, *bug_ids: int) -> CoreConfig:
+    """A copy of ``config`` with the given bugs armed.
+
+    Unknown bug ids are rejected eagerly so a typo cannot silently run a
+    clean design while claiming a bug was injected.
+    """
+    for bug_id in bug_ids:
+        if bug_id not in BUGS:
+            raise KeyError(f"unknown bug id {bug_id}; known: {sorted(BUGS)}")
+    return config.with_bugs(*bug_ids)
+
+
+def injected_config(*bug_ids: int, base: Optional[CoreConfig] = None) -> CoreConfig:
+    """Convenience: a default configuration with the given bugs armed."""
+    return inject(base or CoreConfig(mem_latency=0), *bug_ids)

@@ -1,0 +1,187 @@
+"""Hand-distilled minimal trigger scenarios for the six Table 2.1 bugs.
+
+Each scenario is the smallest deterministic conjunction of events that
+exposes its bug -- exactly the kind of test a designer would *not* have
+thought to write, which is the paper's point.  They were distilled from
+diverging generated traces and are used by the unit tests, the Fig. 2.2
+timing benchmark, and the examples.
+
+All scenarios assume ``CoreConfig(mem_latency=0)`` and the default cache
+geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pp.asm import assemble
+from repro.pp.isa import Instruction
+from repro.pp.rtl.stimulus import QueueStimulus
+
+
+@dataclass
+class BugScenario:
+    """A deterministic trigger for one catalog bug."""
+
+    bug_id: int
+    name: str
+    #: The multiple-event conjunction this realizes.
+    events: str
+    source: str
+    fetch_hits: List[bool] = field(default_factory=list)
+    dcache_hits: List[bool] = field(default_factory=list)
+    inbox_ready: List[bool] = field(default_factory=list)
+    outbox_ready: List[bool] = field(default_factory=list)
+    victim_dirty: List[bool] = field(default_factory=list)
+    #: Register expected to be corrupted when the bug fires (for messages).
+    symptom_register: Optional[int] = None
+
+    @property
+    def program(self) -> List[Instruction]:
+        return assemble(self.source)
+
+    def stimulus(self) -> QueueStimulus:
+        return QueueStimulus(
+            fetch_hits=list(self.fetch_hits),
+            dcache_hits=list(self.dcache_hits),
+            inbox_ready=list(self.inbox_ready),
+            outbox_ready=list(self.outbox_ready),
+            victim_dirty=list(self.victim_dirty),
+        )
+
+
+_SEEDED_LOAD = """
+addi r1, r0, 42
+sw r1, 0x10(r0)
+nop
+nop
+nop
+lw r2, 0x10(r0)
+addi r3, r2, 1
+addi r4, r0, 9
+"""
+
+
+def bug_scenarios() -> Dict[int, BugScenario]:
+    """One minimal trigger per catalog bug, keyed by bug id."""
+    return {
+        1: BugScenario(
+            bug_id=1,
+            name="d_refill_clobbers_i_line",
+            events=(
+                "load D-miss queued behind an I-refill; the refetch misses "
+                "again, so the D-fill's words stream back while the I-cache "
+                "sits in REQ -- the unqualified valid latches them"
+            ),
+            source=_SEEDED_LOAD,
+            fetch_hits=[True, True, True, True, True, False, False, True, True],
+            dcache_hits=[True, False],
+            symptom_register=3,
+        ),
+        2: BugScenario(
+            bug_id=2,
+            name="simultaneous_i_d_miss_loses_latch",
+            events=(
+                "load D-miss + I-miss on the following fetch + a second "
+                "I-miss on the refetch, so the I-stall is active at the "
+                "cycle the D-refill's critical word returns"
+            ),
+            source=_SEEDED_LOAD,
+            fetch_hits=[True, True, True, True, True, False, False, True, True],
+            dcache_hits=[True, False],
+            symptom_register=2,
+        ),
+        3: BugScenario(
+            bug_id=3,
+            name="conflict_stall_address_clobbered",
+            events=(
+                "load conflicting with a pending split store, with another "
+                "load right behind it in the pipe supplying the wrong address"
+            ),
+            source="""
+addi r1, r0, 42
+sw r1, 0x10(r0)
+lw r2, 0x10(r0)
+lw r3, 0x40(r0)
+add r4, r2, r3
+""",
+            dcache_hits=[True, True, True],
+            symptom_register=2,
+        ),
+        4: BugScenario(
+            bug_id=4,
+            name="fixup_lost_during_memstall",
+            events=(
+                "switch stalled on a not-ready Inbox (MemStall) while the "
+                "next fetch I-misses; the refill's fix-up cycle lands inside "
+                "the external stall and the restored fetch is dropped"
+            ),
+            source="""
+switch r1
+addi r2, r0, 7
+addi r3, r0, 8
+""",
+            fetch_hits=[True, False, True, True],
+            inbox_ready=[False] * 8 + [True],
+            symptom_register=3,
+        ),
+        5: BugScenario(
+            bug_id=5,
+            name="membus_glitch_garbage_latched",
+            events=(
+                "load D-miss restarted critical-word-first + a following "
+                "store in the pipe (the Membus-valid glitch) + an external "
+                "switch stall landing between the glitch and the corrective "
+                "rewrite"
+            ),
+            source="""
+addi r1, r0, 42
+sw r1, 0x10(r0)
+nop
+nop
+nop
+lw r2, 0x10(r0)
+switch r3
+sw r1, 0x40(r0)
+addi r4, r2, 1
+""",
+            fetch_hits=[True] * 12,
+            dcache_hits=[True, False, True],
+            inbox_ready=[False, False, False, True],
+            symptom_register=2,
+        ),
+        6: BugScenario(
+            bug_id=6,
+            name="conflict_stall_stale_load",
+            events=(
+                "store + load to the same line (conflict stall, D-hit) with "
+                "a simultaneous I-stall from a following fetch miss"
+            ),
+            source="""
+addi r1, r0, 42
+sw r1, 0x10(r0)
+lw r2, 0x10(r0)
+addi r3, r2, 1
+addi r4, r3, 1
+addi r5, r4, 1
+""",
+            dcache_hits=[True, True],
+            fetch_hits=[True, True, True, False, True, True, True, True],
+            symptom_register=2,
+        ),
+    }
+
+
+def bug5_masked_scenario() -> BugScenario:
+    """The Fig. 2.2 variant: identical to bug 5's trigger but with the
+    Inbox ready, so the corrective rewrite masks the glitch and *no*
+    architectural divergence occurs even with the bug armed."""
+    scenario = bug_scenarios()[5]
+    scenario.inbox_ready = [True]
+    scenario.name = "membus_glitch_masked"
+    scenario.events = (
+        "same as bug 5 but no external stall lands in the window: the "
+        "second Membus drive rewrites the data (performance bug only)"
+    )
+    return scenario

@@ -1,0 +1,222 @@
+"""Command-line interface: the validation flow as shell commands.
+
+A production release of this system is driven from build scripts, so the
+pipeline is exposed as subcommands::
+
+    python -m repro enumerate --fill-words 2 --graph-out pp.graph.json
+    python -m repro tours     --graph pp.graph.json --limit 400
+    python -m repro validate  --fill-words 2 [--bug 5]
+    python -m repro campaign  --fill-words 2
+    python -m repro translate design.v --top arbiter
+    python -m repro murphi    model.m
+    python -m repro errata
+
+Every command prints a compact human-readable report; ``--graph-out``
+persists the enumerated state graph as JSON for reuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bugs import BUGS
+from repro.core.report import format_campaign_table
+from repro.enumeration import StateGraph, enumerate_states
+from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.tour import TourGenerator, arc_coverage
+
+
+def _model_config(args) -> PPModelConfig:
+    return PPModelConfig(
+        fill_words=args.fill_words,
+        extra_pipe_stages=args.extra_pipe_stages,
+    )
+
+
+def _add_model_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fill-words", type=int, default=2,
+                        help="refill line length in word deliveries")
+    parser.add_argument("--extra-pipe-stages", type=int, default=0,
+                        help="trailing write-back stages tracked by control")
+
+
+def cmd_enumerate(args) -> int:
+    model = PPControlModel(_model_config(args)).build()
+    graph, stats = enumerate_states(model)
+    print(stats.format_table())
+    print(f"reachable fraction of 2^bits: {stats.reachable_fraction:.2e}")
+    if args.graph_out:
+        with open(args.graph_out, "w") as handle:
+            handle.write(graph.to_json())
+        print(f"state graph written to {args.graph_out}")
+    return 0
+
+
+def cmd_tours(args) -> int:
+    if args.graph:
+        with open(args.graph) as handle:
+            graph = StateGraph.from_json(handle.read())
+    else:
+        model = PPControlModel(_model_config(args)).build()
+        graph, _ = enumerate_states(model)
+    tours = TourGenerator(
+        graph, max_instructions_per_trace=args.limit or None
+    ).generate()
+    stats = tours.stats
+    report = arc_coverage(graph, (t.edge_indices for t in tours))
+    print(f"traces: {stats.num_traces}")
+    print(f"arc traversals: {stats.total_edge_traversals:,} over "
+          f"{stats.graph_edges:,} arcs (coverage complete: {report.complete})")
+    print(f"longest trace: {stats.longest_trace_edges:,} arcs")
+    print(f"estimated simulation @100Hz: "
+          f"{stats.estimated_simulation_hours():.2f} hours total, "
+          f"{stats.estimated_longest_trace_hours() * 60:.1f} minutes for "
+          "the longest trace")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.core import ValidationPipeline
+    from repro.pp.rtl.core import CoreConfig
+
+    pipeline = ValidationPipeline(
+        model_config=_model_config(args),
+        max_instructions_per_trace=args.limit or None,
+        seed=args.seed,
+    )
+    config = CoreConfig(mem_latency=0)
+    if args.bug:
+        for bug_id in args.bug:
+            if bug_id not in BUGS:
+                print(f"unknown bug id {bug_id}; known: {sorted(BUGS)}",
+                      file=sys.stderr)
+                return 2
+        config = config.with_bugs(*args.bug)
+        for bug_id in args.bug:
+            print(f"injected bug #{bug_id}: {BUGS[bug_id].title}")
+    report = pipeline.validate(config=config, stop_on_divergence=not args.all)
+    print(report.summary())
+    return 0 if report.clean == (not args.bug) else 1
+
+
+def cmd_campaign(args) -> int:
+    from repro.harness.campaign import ValidationCampaign
+
+    campaign = ValidationCampaign(
+        model_config=_model_config(args),
+        seed=args.seed,
+        max_instructions_per_trace=args.limit or None,
+    )
+    results = campaign.evaluate_all_bugs()
+    print(format_campaign_table(results))
+    found = sum(r.outcomes["generated"].detected for r in results)
+    print(f"\ngenerated vectors found {found}/{len(results)} injected bugs")
+    return 0 if found == len(results) else 1
+
+
+def cmd_translate(args) -> int:
+    from repro.translate import translate_verilog
+
+    with open(args.source) as handle:
+        source = handle.read()
+    model, flat = translate_verilog(source, top=args.top, clock=args.clock)
+    print(f"translated {args.source} (top: {args.top})")
+    print(f"  state variables ({model.state_bits()} bits): "
+          f"{', '.join(model.state_var_names)}")
+    print(f"  free inputs: {', '.join(model.choice_names)}")
+    if args.enumerate:
+        graph, stats = enumerate_states(model, max_states=args.max_states)
+        print(stats.format_table())
+        if args.graph_out:
+            with open(args.graph_out, "w") as handle:
+                handle.write(graph.to_json())
+            print(f"state graph written to {args.graph_out}")
+    return 0
+
+
+def cmd_murphi(args) -> int:
+    from repro.smurphi import parse_model
+
+    with open(args.source) as handle:
+        text = handle.read()
+    model = parse_model(text, name=args.source)
+    print(f"parsed {args.source}: {model!r}")
+    graph, stats = enumerate_states(model, max_states=args.max_states)
+    print(stats.format_table())
+    return 0
+
+
+def cmd_errata(args) -> int:
+    from repro.errata.classify import format_table
+
+    print(format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Architecture Validation for Processors (ISCA 1995) "
+                    "-- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("enumerate", help="enumerate the PP control state graph")
+    _add_model_flags(p)
+    p.add_argument("--graph-out", help="write the state graph as JSON")
+    p.set_defaults(func=cmd_enumerate)
+
+    p = sub.add_parser("tours", help="generate transition tours")
+    _add_model_flags(p)
+    p.add_argument("--graph", help="reuse a JSON state graph")
+    p.add_argument("--limit", type=int, default=400,
+                   help="instructions per trace (0 = unlimited)")
+    p.set_defaults(func=cmd_tours)
+
+    p = sub.add_parser("validate", help="run the full validation pipeline")
+    _add_model_flags(p)
+    p.add_argument("--limit", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bug", type=int, action="append",
+                   help="inject a Table 2.1 bug (repeatable)")
+    p.add_argument("--all", action="store_true",
+                   help="run every trace even after a divergence")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("campaign", help="Table 2.1: all bugs x all methods")
+    _add_model_flags(p)
+    p.add_argument("--limit", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("translate", help="translate Verilog to an FSM model")
+    p.add_argument("source")
+    p.add_argument("--top", required=True)
+    p.add_argument("--clock", default="clk")
+    p.add_argument("--enumerate", action="store_true")
+    p.add_argument("--max-states", type=int, default=1_000_000)
+    p.add_argument("--graph-out")
+    p.set_defaults(func=cmd_translate)
+
+    p = sub.add_parser("murphi", help="parse + enumerate a Murphi text model")
+    p.add_argument("source")
+    p.add_argument("--max-states", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_murphi)
+
+    p = sub.add_parser("errata", help="print the R4000 errata table (Table 1.1)")
+    p.set_defaults(func=cmd_errata)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "limit", None) == 0:
+        args.limit = None
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""End-to-end validation pipeline (Fig. 3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.enumeration import EnumerationStats, StateGraph, enumerate_states
+from repro.harness.compare import ComparisonResult, run_vector_trace
+from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.pp.rtl.core import CoreConfig
+from repro.tour import TourGenerator, TourSet
+from repro.vectors import TraceSet, VectorGenerator, pp_instruction_cost
+
+
+@dataclass
+class PipelineArtifacts:
+    """Everything the pipeline produces along the way.
+
+    Useful both for inspection and for reusing expensive intermediates
+    (the state graph and tours are design-dependent but bug-independent,
+    so one pipeline run can evaluate many candidate designs).
+    """
+
+    graph: StateGraph
+    enumeration: EnumerationStats
+    tours: TourSet
+    traces: TraceSet
+
+
+class ValidationPipeline:
+    """The four-step methodology for the Protocol Processor.
+
+    >>> pipeline = ValidationPipeline()
+    >>> artifacts = pipeline.build()          # steps 1-3  # doctest: +SKIP
+    >>> report = pipeline.validate()          # step 4     # doctest: +SKIP
+
+    Parameters
+    ----------
+    model_config:
+        Scaling of the control model (step 1's abstraction choices).
+    max_instructions_per_trace:
+        The Fig. 3.3 per-trace split limit; ``None`` disables splitting.
+    seed:
+        Seed for the biased-random parts of vector generation.
+    record_all_conditions:
+        Enumerate with one arc per unique transition condition -- the
+        paper's proposed fix for the fewer-behaviours blind spot (Fig 4.2).
+    """
+
+    def __init__(
+        self,
+        model_config: Optional[PPModelConfig] = None,
+        max_instructions_per_trace: Optional[int] = 400,
+        seed: int = 0,
+        record_all_conditions: bool = False,
+    ):
+        self.model_config = model_config or PPModelConfig(fill_words=2)
+        self.max_instructions_per_trace = max_instructions_per_trace
+        self.seed = seed
+        self.record_all_conditions = record_all_conditions
+        self.control = PPControlModel(self.model_config)
+        self._artifacts: Optional[PipelineArtifacts] = None
+
+    def build(self) -> PipelineArtifacts:
+        """Run steps 1-3: model, enumerate, tour, vectors."""
+        model = self.control.build()
+        graph, stats = enumerate_states(
+            model, record_all_conditions=self.record_all_conditions
+        )
+        cost = pp_instruction_cost(self.control, graph)
+        tours = TourGenerator(
+            graph,
+            instruction_cost=cost,
+            max_instructions_per_trace=self.max_instructions_per_trace,
+        ).generate()
+        traces = VectorGenerator(self.control, graph, seed=self.seed).generate(
+            list(tours)
+        )
+        self._artifacts = PipelineArtifacts(
+            graph=graph, enumeration=stats, tours=tours, traces=traces
+        )
+        return self._artifacts
+
+    @property
+    def artifacts(self) -> PipelineArtifacts:
+        if self._artifacts is None:
+            self.build()
+        return self._artifacts
+
+    def validate(
+        self,
+        config: Optional[CoreConfig] = None,
+        stop_on_divergence: bool = True,
+    ) -> "ValidationReport":
+        """Step 4: run every trace against the spec; collect divergences."""
+        from repro.core.report import ValidationReport
+
+        config = config or CoreConfig(mem_latency=0)
+        results: List[ComparisonResult] = []
+        diverging: List[int] = []
+        for index, trace in enumerate(self.artifacts.traces):
+            result = run_vector_trace(trace, config=config)
+            results.append(result)
+            if result.diverged:
+                diverging.append(index)
+                if stop_on_divergence:
+                    break
+        return ValidationReport(
+            config=config,
+            traces_run=len(results),
+            total_traces=self.artifacts.traces.num_traces,
+            diverging_traces=diverging,
+            results=results,
+            enumeration=self.artifacts.enumeration,
+            tour_stats=self.artifacts.tours.stats,
+        )

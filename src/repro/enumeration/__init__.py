@@ -1,0 +1,31 @@
+"""Full state enumeration of Synchronous Murphi models (paper section 3.2).
+
+Breadth-first reachability from the reset state over all combinations of
+abstract-model choices, producing the complete control state graph from
+which transition tours are derived.
+"""
+
+from repro.enumeration.graph import StateGraph, Edge
+from repro.enumeration.bfs import enumerate_states, EnumerationError, InvariantViolation
+from repro.enumeration.stats import EnumerationStats
+from repro.enumeration.analysis import (
+    GraphProfile,
+    depth_histogram,
+    depths_from_reset,
+    profile,
+    to_dot,
+)
+
+__all__ = [
+    "GraphProfile",
+    "depth_histogram",
+    "depths_from_reset",
+    "profile",
+    "to_dot",
+    "StateGraph",
+    "Edge",
+    "enumerate_states",
+    "EnumerationError",
+    "InvariantViolation",
+    "EnumerationStats",
+]

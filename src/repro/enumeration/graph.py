@@ -1,0 +1,152 @@
+"""The complete control state graph produced by enumeration.
+
+States are interned to dense integer ids (id 0 is always the reset state).
+Each edge carries the *transition condition*: the tuple of abstract-model
+choices that caused it, which the vector generator later maps back onto
+simulator stimuli (the "transition condition mapping" of section 3.3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One transition arc of the state graph.
+
+    ``condition`` is a tuple of choice values in the model's choice
+    declaration order -- the permutation of abstract-block actions that was
+    recorded for this arc.
+    """
+
+    src: int
+    dst: int
+    condition: Tuple
+
+    def __repr__(self) -> str:
+        return f"Edge({self.src}->{self.dst}, cond={self.condition!r})"
+
+
+class StateGraph:
+    """Directed multigraph over enumerated control states.
+
+    Parameters
+    ----------
+    choice_names:
+        Names of the model's choice points, defining the layout of each
+        edge's ``condition`` tuple.
+    """
+
+    RESET = 0
+
+    def __init__(self, choice_names: Sequence[str]):
+        self.choice_names = list(choice_names)
+        self._state_ids: Dict[int, int] = {}
+        self._state_keys: List[int] = []
+        self._edges: List[Edge] = []
+        self._out: List[List[int]] = []
+
+    # -- construction --------------------------------------------------------
+
+    def intern_state(self, packed_key: int) -> Tuple[int, bool]:
+        """Return ``(state_id, is_new)`` for a packed state key."""
+        existing = self._state_ids.get(packed_key)
+        if existing is not None:
+            return existing, False
+        state_id = len(self._state_keys)
+        self._state_ids[packed_key] = state_id
+        self._state_keys.append(packed_key)
+        self._out.append([])
+        return state_id, True
+
+    def add_edge(self, src: int, dst: int, condition: Tuple) -> Edge:
+        edge = Edge(src, dst, tuple(condition))
+        index = len(self._edges)
+        self._edges.append(edge)
+        self._out[src].append(index)
+        return edge
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self._state_keys)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def state_key(self, state_id: int) -> int:
+        """Packed state key for a state id (decode with the model's codec)."""
+        return self._state_keys[state_id]
+
+    def state_id_of_key(self, packed_key: int) -> Optional[int]:
+        return self._state_ids.get(packed_key)
+
+    def edges(self) -> Sequence[Edge]:
+        return self._edges
+
+    def edge(self, index: int) -> Edge:
+        return self._edges[index]
+
+    def out_edge_indices(self, state_id: int) -> Sequence[int]:
+        return self._out[state_id]
+
+    def out_edges(self, state_id: int) -> Iterator[Edge]:
+        for index in self._out[state_id]:
+            yield self._edges[index]
+
+    def successors(self, state_id: int) -> Iterator[int]:
+        for index in self._out[state_id]:
+            yield self._edges[index].dst
+
+    def has_edge_between(self, src: int, dst: int) -> bool:
+        return any(self._edges[i].dst == dst for i in self._out[src])
+
+    def condition_as_dict(self, edge: Edge) -> Dict[str, object]:
+        """Expand an edge's condition tuple into a choice-name -> value map."""
+        return dict(zip(self.choice_names, edge.condition))
+
+    def in_degrees(self) -> List[int]:
+        degrees = [0] * self.num_states
+        for edge in self._edges:
+            degrees[edge.dst] += 1
+        return degrees
+
+    def reset_only_edges(self) -> List[int]:
+        """Edge indices reachable only via the reset state.
+
+        The paper observes (Table 3.3 discussion) that the PP model has
+        numerous edges reachable only from reset -- different initial input
+        conditions -- which lower-bounds the number of separate traces.
+        Here: edges whose source is reset and whose destination's only
+        in-arcs leave reset, computed conservatively as out-edges of reset
+        that no other tour could pick up mid-trace.
+        """
+        return [i for i, e in enumerate(self._edges) if e.src == self.RESET]
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "choice_names": self.choice_names,
+            "state_keys": self._state_keys,
+            "edges": [[e.src, e.dst, list(e.condition)] for e in self._edges],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StateGraph":
+        payload = json.loads(text)
+        graph = cls(payload["choice_names"])
+        for key in payload["state_keys"]:
+            graph.intern_state(key)
+        for src, dst, condition in payload["edges"]:
+            graph.add_edge(src, dst, tuple(condition))
+        return graph
+
+    def __repr__(self) -> str:
+        return f"StateGraph({self.num_states} states, {self.num_edges} edges)"

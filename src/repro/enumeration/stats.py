@@ -1,0 +1,46 @@
+"""Statistics of a state enumeration run, mirroring Table 3.2 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnumerationStats:
+    """What Table 3.2 reports: states, bits per state, runtime, memory, edges."""
+
+    model_name: str
+    num_states: int
+    bits_per_state: int
+    num_edges: int
+    transitions_explored: int
+    elapsed_seconds: float
+    approx_memory_bytes: int
+
+    @property
+    def reachable_fraction(self) -> float:
+        """Reachable states over the 2^bits upper bound.
+
+        The paper's headline observation: 229,571 ~ 2^18 reachable states
+        against 2^98 possible -- the FSMs interlock, preventing exponential
+        blowup.
+        """
+        possible = 2 ** self.bits_per_state
+        return self.num_states / possible
+
+    def as_table_rows(self):
+        """Rows in the format of Table 3.2."""
+        return [
+            ("Number of States", f"{self.num_states:,}"),
+            ("Number of bits per State", f"{self.bits_per_state}"),
+            ("Execution Time", f"{self.elapsed_seconds:,.2f} secs."),
+            ("Memory Requirement", f"{self.approx_memory_bytes / (1024 * 1024):.1f} MB"),
+            ("Number of Edges in State Graph", f"{self.num_edges:,}"),
+        ]
+
+    def format_table(self) -> str:
+        rows = self.as_table_rows()
+        width = max(len(label) for label, _ in rows)
+        lines = [f"State Enumeration Statistics -- {self.model_name}"]
+        lines += [f"  {label.ljust(width)}  {value}" for label, value in rows]
+        return "\n".join(lines)

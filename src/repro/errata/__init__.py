@@ -1,0 +1,20 @@
+"""The MIPS R4000 errata study (Table 1.1 of the paper).
+
+The paper motivates its methodology by classifying the 46 published
+R4000PC/SC rev 2.2/3.0 errata by which parts of the design interacted to
+cause each error: pipeline/datapath-only, a single control-logic unit, or
+multiple interacting events.  The original errata web page is long gone;
+this package carries a synthesized 46-entry dataset with the same
+structure and class totals, plus the classifier that produces the table.
+"""
+
+from repro.errata.dataset import Erratum, R4000_ERRATA
+from repro.errata.classify import BugClass, classify, classification_breakdown
+
+__all__ = [
+    "Erratum",
+    "R4000_ERRATA",
+    "BugClass",
+    "classify",
+    "classification_breakdown",
+]

@@ -1,0 +1,57 @@
+"""The three-way bug taxonomy of Table 1.1."""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errata.dataset import Erratum, R4000_ERRATA
+
+
+class BugClass(enum.Enum):
+    """The paper's classification of what interacted to cause each error."""
+
+    DATAPATH_ONLY = "Pipeline/Datapath ONLY bugs"
+    SINGLE_CONTROL = "Single Control Logic Bugs"
+    MULTIPLE_EVENT = "Multiple Event Bugs"
+
+
+def classify(erratum: Erratum) -> BugClass:
+    """Classify one erratum.
+
+    - No control-logic involvement at all -> datapath-only.
+    - Control logic, but a single unit and a single triggering event ->
+      single control logic bug.
+    - More than one unit or more than one coinciding condition ->
+      multiple-event bug (the class the paper's methodology targets).
+    """
+    if not erratum.control:
+        return BugClass.DATAPATH_ONLY
+    if len(erratum.units) == 1 and erratum.events == 1:
+        return BugClass.SINGLE_CONTROL
+    return BugClass.MULTIPLE_EVENT
+
+
+def classification_breakdown(
+    errata: Iterable[Erratum] = R4000_ERRATA,
+) -> List[Tuple[BugClass, int, float]]:
+    """Rows of Table 1.1: (class, count, percent of total)."""
+    errata = list(errata)
+    counts: Counter = Counter(classify(e) for e in errata)
+    total = len(errata)
+    return [
+        (bug_class, counts.get(bug_class, 0), 100.0 * counts.get(bug_class, 0) / total)
+        for bug_class in BugClass
+    ]
+
+
+def format_table(errata: Iterable[Erratum] = R4000_ERRATA) -> str:
+    """Render Table 1.1."""
+    rows = classification_breakdown(errata)
+    total = sum(count for _, count, _ in rows)
+    lines = [f"{'Bug Class':<34}{'Number':>8}{'% of Total':>12}"]
+    for bug_class, count, percent in rows:
+        lines.append(f"{bug_class.value:<34}{count:>8}{percent:>11.1f}%")
+    lines.append(f"{'Total Reported Errata':<34}{total:>8}{100.0:>11.1f}%")
+    return "\n".join(lines)

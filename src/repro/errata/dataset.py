@@ -1,0 +1,123 @@
+"""A synthesized 46-entry R4000-style errata dataset.
+
+The paper classified MIPS's published R4000PC/SC errata (rev 2.2 and 3.0).
+That page is no longer available, so this dataset is *synthesized*: each
+record follows the structure of real R4000 errata (the famous TLB-miss/
+jump-delay-slot bug appears as entry 12, quoted from the paper itself) and
+the population reproduces the published totals -- 3 pipeline/datapath-only,
+17 single-control-logic, 26 multiple-event, 46 total.  What is reproducible
+here is the *classification logic*, which keys off structured fields
+(units involved, event count, control involvement) rather than prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Erratum:
+    """One erratum record.
+
+    ``units``: the design units whose behaviour participates in the bug.
+    ``events``: how many distinct (and individually improbable) conditions
+    must coincide to trigger it.
+    ``control``: whether control logic (as opposed to pure datapath) is
+    involved at all.
+    """
+
+    number: int
+    summary: str
+    units: Tuple[str, ...]
+    events: int
+    control: bool
+
+
+def _e(number, summary, units, events, control=True):
+    return Erratum(number, summary, tuple(units), events, control)
+
+
+#: The dataset.  Entries 1-3: datapath-only; 4-20: single control unit;
+#: 21-46: multiple interacting events.
+R4000_ERRATA: List[Erratum] = [
+    # --- pipeline/datapath only -------------------------------------------------
+    _e(1, "FPU rounding incorrect for denormal multiply results.",
+       ["fpu"], 1, control=False),
+    _e(2, "Integer multiplier produces wrong HI on back-to-back MULT.",
+       ["mdu"], 1, control=False),
+    _e(3, "Shifter misdecodes variable shift amount of 32.",
+       ["alu"], 1, control=False),
+    # --- single control logic ---------------------------------------------------
+    _e(4, "Cache refill FSM re-requests line after parity retry.", ["dcache"], 1),
+    _e(5, "Write buffer fails to drain on uncached store after reset.", ["wbuf"], 1),
+    _e(6, "TLB write-random can select a wired entry.", ["tlb"], 1),
+    _e(7, "Interrupt enable bit sampled one cycle late.", ["int"], 1),
+    _e(8, "Secondary cache tag ECC check disabled in one state.", ["scache"], 1),
+    _e(9, "Refill counter wraps on 128-byte line configuration.", ["icache"], 1),
+    _e(10, "Watch exception address comparator ignores bit 31.", ["watch"], 1),
+    _e(11, "Status register mask update delayed after MTC0.", ["cp0"], 1),
+    _e(12, "Count/Compare interrupt can be lost when written same cycle.", ["cp0"], 1),
+    _e(13, "Sync instruction does not fence uncached accelerated writes.", ["wbuf"], 1),
+    _e(14, "LL bit not cleared by ERET in one pipeline slot.", ["lsu"], 1),
+    _e(15, "Cache instruction index-invalidate decodes wrong way bit.", ["dcache"], 1),
+    _e(16, "Branch-likely annul drops a delay-slot register read enable.", ["pipe"], 1),
+    _e(17, "Processor stalls one extra cycle on back-to-back cache ops.", ["dcache"], 1),
+    _e(18, "Reserved instruction exception priority wrong vs coprocessor.", ["except"], 1),
+    _e(19, "Config register endianness bit latched from wrong pad.", ["cp0"], 1),
+    _e(20, "Performance counter overflows a cycle early.", ["cp0"], 1),
+    # --- multiple event ---------------------------------------------------------
+    _e(21, "Load D-miss + jump with delay slot on unmapped page: TLB miss "
+           "exception vectors to the jump address (the paper's example).",
+       ["dcache", "tlb", "pipe"], 3),
+    _e(22, "I-miss during D-refill with dirty victim corrupts spill address.",
+       ["icache", "dcache", "memctrl"], 3),
+    _e(23, "External interrupt in the same cycle as a watch exception "
+           "loses the watch.", ["int", "watch"], 2),
+    _e(24, "Uncached load between two cached stores reorders the write buffer.",
+       ["wbuf", "lsu"], 2),
+    _e(25, "TLB refill during branch-likely annul executes the annulled slot.",
+       ["tlb", "pipe"], 2),
+    _e(26, "Secondary-cache ECC error during primary refill deadlocks "
+           "the refill FSMs.", ["scache", "dcache"], 2),
+    _e(27, "Multiply in progress + cache stall + interrupt corrupts LO.",
+       ["mdu", "dcache", "int"], 3),
+    _e(28, "Store conditional during cache-op invalidate falsely succeeds.",
+       ["lsu", "dcache"], 2),
+    _e(29, "NMI during reset sequence leaves refill FSM mid-line.",
+       ["int", "icache"], 2),
+    _e(30, "Two outstanding uncached reads return data swapped when "
+           "interrupted by refill.", ["memctrl", "dcache"], 2),
+    _e(31, "ERET in delay slot of a taken branch with pending interrupt "
+           "returns to the wrong EPC.", ["except", "pipe", "int"], 3),
+    _e(32, "D-miss on both ways with write-back queued overflows the "
+           "victim buffer.", ["dcache", "wbuf"], 2),
+    _e(33, "Cache-op during TLB shutdown state machine corrupts PTE base.",
+       ["dcache", "tlb"], 2),
+    _e(34, "Debug exception during refill fix-up cycle loses the restart PC.",
+       ["except", "icache"], 2),
+    _e(35, "Interrupt between split halves of an unaligned store writes "
+           "one half twice.", ["lsu", "int"], 2),
+    _e(36, "Refill parity retry during write-buffer full stall hangs "
+           "the pipeline.", ["dcache", "wbuf", "pipe"], 3),
+    _e(37, "Branch mispredicted squash + I-miss fetches down the wrong path.",
+       ["pipe", "icache"], 2),
+    _e(38, "Coprocessor-unusable exception in branch delay slot during "
+           "D-stall sets wrong BD bit.", ["except", "pipe", "dcache"], 3),
+    _e(39, "Timer interrupt coincident with watch on the same instruction "
+           "delivers neither.", ["int", "watch"], 2),
+    _e(40, "Secondary-cache write-back during probe returns stale tag.",
+       ["scache", "memctrl"], 2),
+    _e(41, "LL/SC pair spanning a TLB modification loses atomicity silently.",
+       ["lsu", "tlb"], 2),
+    _e(42, "Sync during pending write-back + incoming invalidate drops "
+           "the invalidate.", ["wbuf", "scache"], 2),
+    _e(43, "Exception during MTC0 to Status in a delay slot double-applies "
+           "the mask.", ["cp0", "except", "pipe"], 3),
+    _e(44, "Refill critical word forwarded while parity error pending "
+           "poisons a register.", ["dcache", "memctrl"], 2),
+    _e(45, "Interrupt during multicycle cache-op leaves lock bit set.",
+       ["int", "dcache"], 2),
+    _e(46, "Reset during secondary-cache initialization leaves ways "
+           "cross-linked.", ["scache", "int"], 2),
+]

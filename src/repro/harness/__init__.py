@@ -1,0 +1,41 @@
+"""Simulation comparison framework (step 4 of Fig. 3.1).
+
+Runs the RTL implementation and the instruction-level specification on the
+same stimulus and flags data-value differences: the final architectural
+state (registers, data memory, Outbox stream) and, in strict mode, the
+register write stream at retirement.
+
+Three stimulus strategies are provided for the Table 2.1 comparison:
+generated transition-tour vectors, biased-random vectors, and hand-written
+directed tests.
+"""
+
+from repro.harness.compare import ComparisonResult, run_trace, compare_states
+from repro.harness.campaign import (
+    ValidationCampaign,
+    CampaignResult,
+    MethodOutcome,
+)
+from repro.harness.random_testing import random_trace, random_campaign
+from repro.harness.directed import directed_tests, DirectedTest
+from repro.harness.coverage import (
+    ControlStateObserver,
+    CoverageMeasurement,
+    run_with_coverage,
+)
+
+__all__ = [
+    "ControlStateObserver",
+    "CoverageMeasurement",
+    "run_with_coverage",
+    "ComparisonResult",
+    "run_trace",
+    "compare_states",
+    "ValidationCampaign",
+    "CampaignResult",
+    "MethodOutcome",
+    "random_trace",
+    "random_campaign",
+    "directed_tests",
+    "DirectedTest",
+]

@@ -1,0 +1,180 @@
+"""Full validation campaigns: generated vs random vs directed (Table 2.1).
+
+A :class:`ValidationCampaign` builds the whole methodology pipeline once
+(control model -> state graph -> transition tours -> vector traces) and
+then evaluates any injected-bug configuration under the three strategies,
+reporting which method finds which bug and at what simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bugs.catalog import BUGS
+from repro.enumeration import enumerate_states
+from repro.harness.compare import ComparisonResult, run_vector_trace
+from repro.harness.directed import directed_tests
+from repro.harness.random_testing import random_campaign
+from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.pp.rtl.core import CoreConfig
+from repro.tour import TourGenerator
+from repro.vectors import VectorGenerator, pp_instruction_cost
+
+
+@dataclass
+class MethodOutcome:
+    """One method's result against one configuration."""
+
+    method: str
+    detected: bool
+    traces_run: int
+    instructions_run: int
+    detecting_trace: Optional[int] = None
+    first_divergence: Optional[ComparisonResult] = None
+
+
+@dataclass
+class CampaignResult:
+    """All methods' outcomes for one (possibly bug-injected) design."""
+
+    bug_id: Optional[int]
+    outcomes: Dict[str, MethodOutcome] = field(default_factory=dict)
+
+    @property
+    def title(self) -> str:
+        if self.bug_id is None:
+            return "bug-free design"
+        return f"bug #{self.bug_id}: {BUGS[self.bug_id].title}"
+
+
+class ValidationCampaign:
+    """Builds the methodology pipeline once; evaluates designs repeatedly.
+
+    Parameters
+    ----------
+    model_config:
+        Control-model scaling (fill words, pipeline depth).
+    seed:
+        Seed for the biased-random vector fill.
+    max_instructions_per_trace:
+        The Fig. 3.3 per-trace limit.
+    """
+
+    def __init__(
+        self,
+        model_config: Optional[PPModelConfig] = None,
+        seed: int = 0,
+        max_instructions_per_trace: Optional[int] = 400,
+    ):
+        self.model_config = model_config or PPModelConfig(fill_words=2)
+        self.seed = seed
+        self.control = PPControlModel(self.model_config)
+        self.model = self.control.build()
+        self.graph, self.enum_stats = enumerate_states(self.model)
+        cost = pp_instruction_cost(self.control, self.graph)
+        self.tours = TourGenerator(
+            self.graph,
+            instruction_cost=cost,
+            max_instructions_per_trace=max_instructions_per_trace,
+        ).generate()
+        self.traces = VectorGenerator(self.control, self.graph, seed=seed).generate(
+            list(self.tours)
+        )
+
+    # -- strategies ----------------------------------------------------------------
+
+    def run_generated(self, config: CoreConfig, stop_on_detection: bool = True) -> MethodOutcome:
+        """Replay every generated trace; detect on first divergence."""
+        instructions = 0
+        detected = False
+        detecting: Optional[int] = None
+        first: Optional[ComparisonResult] = None
+        traces_run = 0
+        for index, trace in enumerate(self.traces):
+            result = run_vector_trace(trace, config=config)
+            traces_run += 1
+            instructions += trace.num_instructions
+            if result.diverged:
+                detected = True
+                detecting = index
+                first = result
+                if stop_on_detection:
+                    break
+        return MethodOutcome(
+            method="generated",
+            detected=detected,
+            traces_run=traces_run,
+            instructions_run=instructions,
+            detecting_trace=detecting,
+            first_divergence=first,
+        )
+
+    def run_random(
+        self,
+        config: CoreConfig,
+        instruction_budget: Optional[int] = None,
+        trace_length: int = 1000,
+    ) -> MethodOutcome:
+        """Random testing with the same instruction budget as generated."""
+        if instruction_budget is None:
+            instruction_budget = self.traces.total_instructions
+        num_traces = max(1, instruction_budget // trace_length)
+        outcome = random_campaign(
+            config, num_traces=num_traces, trace_length=trace_length, seed=self.seed
+        )
+        return MethodOutcome(
+            method="random",
+            detected=outcome.detected,
+            traces_run=outcome.traces_run,
+            instructions_run=outcome.instructions_run,
+            detecting_trace=outcome.traces_run - 1 if outcome.detected else None,
+            first_divergence=outcome.first_divergence,
+        )
+
+    def run_directed(self, config: CoreConfig) -> MethodOutcome:
+        """The hand-written suite."""
+        instructions = 0
+        for index, test in enumerate(directed_tests()):
+            result = test.run(config)
+            instructions += len(test.program)
+            if result.diverged:
+                return MethodOutcome(
+                    method="directed",
+                    detected=True,
+                    traces_run=index + 1,
+                    instructions_run=instructions,
+                    detecting_trace=index,
+                    first_divergence=result,
+                )
+        return MethodOutcome(
+            method="directed",
+            detected=False,
+            traces_run=len(directed_tests()),
+            instructions_run=instructions,
+        )
+
+    # -- the Table 2.1 experiment ---------------------------------------------------
+
+    def evaluate_bug(
+        self,
+        bug_id: Optional[int],
+        methods: Sequence[str] = ("generated", "random", "directed"),
+        base_config: Optional[CoreConfig] = None,
+    ) -> CampaignResult:
+        config = base_config or CoreConfig(mem_latency=0)
+        if bug_id is not None:
+            config = config.with_bugs(bug_id)
+        result = CampaignResult(bug_id=bug_id)
+        if "generated" in methods:
+            result.outcomes["generated"] = self.run_generated(config)
+        if "random" in methods:
+            result.outcomes["random"] = self.run_random(config)
+        if "directed" in methods:
+            result.outcomes["directed"] = self.run_directed(config)
+        return result
+
+    def evaluate_all_bugs(
+        self, methods: Sequence[str] = ("generated", "random", "directed")
+    ) -> List[CampaignResult]:
+        return [self.evaluate_bug(bug_id, methods=methods) for bug_id in sorted(BUGS)]

@@ -1,0 +1,112 @@
+"""RTL-vs-specification comparison for a single trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.pp.isa import Instruction
+from repro.pp.rtl.core import BRANCH_OPCODES, CoreConfig, PPCore
+from repro.pp.rtl.stimulus import StimulusSource
+from repro.pp.spec import ArchState, SpecSimulator
+from repro.vectors.generator import TestVectorTrace
+
+#: Inbox task words shared by both models in comparison runs.
+DEFAULT_INBOX = tuple(range(0x1000, 0x1000 + 256))
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one implementation-vs-specification run."""
+
+    diverged: bool
+    differences: List[str] = field(default_factory=list)
+    write_mismatch: Optional[str] = None
+    cycles: int = 0
+    instructions: int = 0
+    deadlocked: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.diverged and not self.deadlocked
+
+    def describe(self) -> str:
+        if self.deadlocked:
+            return f"DEADLOCK after {self.cycles} cycles"
+        if not self.diverged:
+            return f"match ({self.instructions} instructions, {self.cycles} cycles)"
+        parts = list(self.differences[:4])
+        if self.write_mismatch:
+            parts.append(self.write_mismatch)
+        return "DIVERGED: " + "; ".join(parts)
+
+
+def compare_states(spec_state: ArchState, rtl_state: ArchState) -> List[str]:
+    """Architectural differences between specification and implementation."""
+    return spec_state.differences(rtl_state)
+
+
+def _compare_write_streams(
+    spec_log: Sequence[Tuple[int, int]], rtl_log: Sequence[Tuple[int, int]]
+) -> Optional[str]:
+    for index, (expected, actual) in enumerate(zip(spec_log, rtl_log)):
+        if expected != actual:
+            return (
+                f"write #{index}: spec r{expected[0]}={expected[1]:#010x}, "
+                f"rtl r{actual[0]}={actual[1]:#010x}"
+            )
+    if len(spec_log) != len(rtl_log):
+        return f"write count: spec {len(spec_log)}, rtl {len(rtl_log)}"
+    return None
+
+
+def run_trace(
+    program: Sequence[Instruction],
+    stimulus: StimulusSource,
+    config: Optional[CoreConfig] = None,
+    inbox_tasks: Sequence[int] = DEFAULT_INBOX,
+    strict_writes: bool = True,
+    max_cycles: int = 500_000,
+) -> ComparisonResult:
+    """Run ``program`` on the RTL under ``stimulus`` and on the spec; compare.
+
+    ``strict_writes`` additionally compares the register write stream at
+    retirement, which catches transient corruption that a later write
+    would mask in the final state.
+    """
+    config = config or CoreConfig(mem_latency=0)
+    core = PPCore(program, config, stimulus, inbox_tasks=list(inbox_tasks))
+    try:
+        core.run(max_cycles=max_cycles)
+    except RuntimeError:
+        return ComparisonResult(
+            diverged=True, deadlocked=True, cycles=core.cycle,
+            instructions=len(program),
+            differences=["implementation deadlocked"],
+        )
+    rtl_state = core.architectural_state()
+    spec = SpecSimulator(inbox=list(inbox_tasks))
+    if any(ins.opcode in BRANCH_OPCODES for ins in program):
+        spec_state = spec.run_with_control_flow(program)
+    else:
+        spec_state = spec.run(program)
+    differences = compare_states(spec_state, rtl_state)
+    write_mismatch = None
+    if strict_writes:
+        write_mismatch = _compare_write_streams(spec.write_log, core.regfile.write_log)
+    return ComparisonResult(
+        diverged=bool(differences or write_mismatch),
+        differences=differences,
+        write_mismatch=write_mismatch,
+        cycles=core.cycle,
+        instructions=len(program),
+    )
+
+
+def run_vector_trace(
+    trace: TestVectorTrace,
+    config: Optional[CoreConfig] = None,
+    **kwargs,
+) -> ComparisonResult:
+    """Convenience wrapper for generated vector traces."""
+    return run_trace(trace.program, trace.stimulus(), config=config, **kwargs)

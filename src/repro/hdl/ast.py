@@ -1,0 +1,165 @@
+"""AST node definitions for the Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# ---------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int
+    width: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Bit-select ``name[i]`` (constant index only in this subset)."""
+
+    base: str
+    index: Expr
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Statement:
+    pass
+
+
+@dataclass
+class Assign(Statement):
+    """Blocking (``=``) or non-blocking (``<=``) procedural assignment."""
+
+    target: str
+    value: Expr
+    nonblocking: bool
+    line: int = 0
+
+
+@dataclass
+class If(Statement):
+    condition: Expr
+    then_body: List[Statement]
+    else_body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Case(Statement):
+    subject: Expr
+    #: (match expressions, body); a None key list marks ``default``.
+    items: List[Tuple[Optional[List[Expr]], List[Statement]]] = field(
+        default_factory=list
+    )
+
+
+# ---------------------------------------------------------------- module items
+
+
+@dataclass
+class Net:
+    """A wire or reg declaration."""
+
+    name: str
+    kind: str            # 'wire' | 'reg'
+    msb: int = 0
+    lsb: int = 0
+    #: Direction when the net is a port: 'input' | 'output' | None.
+    direction: Optional[str] = None
+    #: Annotations from // @... directives: state, reset, free...
+    annotations: Dict[str, Optional[str]] = field(default_factory=dict)
+    line: int = 0
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+    @property
+    def is_state_annotated(self) -> bool:
+        return "state" in self.annotations
+
+    @property
+    def reset_value(self) -> int:
+        raw = self.annotations.get("reset")
+        return int(raw, 0) if raw else 0
+
+
+@dataclass
+class ContinuousAssign:
+    target: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class AlwaysBlock:
+    """One always block: clocked (posedge) or combinational (@*)."""
+
+    clocked: bool
+    body: List[Statement]
+    line: int = 0
+
+
+@dataclass
+class Instance:
+    """A module instantiation with named port connections."""
+
+    module: str
+    name: str
+    connections: Dict[str, Expr]
+    line: int = 0
+
+
+@dataclass
+class Module:
+    name: str
+    ports: List[str]
+    nets: Dict[str, Net]
+    parameters: Dict[str, int]
+    assigns: List[ContinuousAssign]
+    always_blocks: List[AlwaysBlock]
+    instances: List[Instance]
+    line: int = 0
+
+
+@dataclass
+class Design:
+    """A parsed source file: one or more modules."""
+
+    modules: Dict[str, Module]
+
+    def module(self, name: str) -> Module:
+        return self.modules[name]

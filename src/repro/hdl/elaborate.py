@@ -1,0 +1,221 @@
+"""Hierarchy elaboration: flatten a module tree into one namespace.
+
+Instances are expanded recursively; every net/assign/always block of a
+child lands in the flat design under a hierarchical name (``inst.net``),
+with parameters constant-folded away.  Input-port connections become
+continuous assigns into the child; output ports become assigns back into
+the parent net.  The top module's inputs become the design's *free inputs*
+-- the signals the enumerator's abstract environment drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hdl import ast
+from repro.hdl.errors import ElaborationError
+
+
+@dataclass
+class FlatDesign:
+    """A fully flattened design, ready for FSM translation."""
+
+    name: str
+    nets: Dict[str, ast.Net] = field(default_factory=dict)
+    free_inputs: List[str] = field(default_factory=list)
+    assigns: List[ast.ContinuousAssign] = field(default_factory=list)
+    always_blocks: List[ast.AlwaysBlock] = field(default_factory=list)
+
+
+def elaborate(design: ast.Design, top: str, clock: str = "clk") -> FlatDesign:
+    """Flatten ``design`` starting from module ``top``.
+
+    ``clock`` names the single global clock; it is excluded from the free
+    inputs (the implicit clock is what Synchronous Murphi's step models).
+    """
+    if top not in design.modules:
+        raise ElaborationError(f"top module {top!r} not found")
+    flat = FlatDesign(name=top)
+    _expand(design, design.modules[top], prefix="", flat=flat, seen=[top])
+    top_module = design.modules[top]
+    for port_name in top_module.ports:
+        net = top_module.nets[port_name]
+        if net.direction == "input" and port_name != clock:
+            flat.free_inputs.append(port_name)
+    return flat
+
+
+def _expand(
+    design: ast.Design,
+    module: ast.Module,
+    prefix: str,
+    flat: FlatDesign,
+    seen: List[str],
+) -> None:
+    rename = _renamer(module, prefix)
+
+    for net in module.nets.values():
+        new_name = prefix + net.name
+        if new_name in flat.nets:
+            raise ElaborationError(f"name collision on {new_name!r}", net.line)
+        flat.nets[new_name] = ast.Net(
+            name=new_name, kind=net.kind, msb=net.msb, lsb=net.lsb,
+            direction=net.direction if not prefix else None,
+            annotations=dict(net.annotations), line=net.line,
+        )
+
+    for assign in module.assigns:
+        flat.assigns.append(
+            ast.ContinuousAssign(
+                target=prefix + assign.target,
+                value=_rewrite_expr(assign.value, rename),
+                line=assign.line,
+            )
+        )
+
+    for block in module.always_blocks:
+        flat.always_blocks.append(
+            ast.AlwaysBlock(
+                clocked=block.clocked,
+                body=[_rewrite_statement(s, rename) for s in block.body],
+                line=block.line,
+            )
+        )
+
+    for instance in module.instances:
+        if instance.module not in design.modules:
+            raise ElaborationError(
+                f"instance {instance.name!r} of unknown module "
+                f"{instance.module!r}", instance.line,
+            )
+        if instance.module in seen:
+            raise ElaborationError(
+                f"recursive instantiation of {instance.module!r}", instance.line
+            )
+        child = design.modules[instance.module]
+        child_prefix = prefix + instance.name + "."
+        _expand(design, child, child_prefix, flat, seen + [instance.module])
+        _connect(child, child_prefix, instance, rename, flat)
+
+
+def _connect(
+    child: ast.Module,
+    child_prefix: str,
+    instance: ast.Instance,
+    parent_rename,
+    flat: FlatDesign,
+) -> None:
+    for port, expr in instance.connections.items():
+        if port not in child.nets or child.nets[port].direction is None:
+            raise ElaborationError(
+                f"{instance.module}.{port} is not a port", instance.line
+            )
+        direction = child.nets[port].direction
+        if direction == "input":
+            if port == "clk":
+                continue  # the single global clock needs no plumbing
+            flat.assigns.append(
+                ast.ContinuousAssign(
+                    target=child_prefix + port,
+                    value=_rewrite_expr(expr, parent_rename),
+                    line=instance.line,
+                )
+            )
+        else:  # output
+            if not isinstance(expr, ast.Ident):
+                raise ElaborationError(
+                    f"output port {port!r} must connect to a plain net",
+                    instance.line,
+                )
+            target = parent_rename(expr.name)
+            if isinstance(target, ast.Number):
+                raise ElaborationError(
+                    f"output port {port!r} cannot drive a constant", instance.line
+                )
+            flat.assigns.append(
+                ast.ContinuousAssign(
+                    target=target.name,
+                    value=ast.Ident(name=child_prefix + port),
+                    line=instance.line,
+                )
+            )
+    # Unconnected child inputs (other than the clock) are an error: the
+    # translator would otherwise see them as dangling.
+    for net in child.nets.values():
+        if net.direction == "input" and net.name not in instance.connections:
+            if net.name == "clk":
+                continue
+            raise ElaborationError(
+                f"input port {instance.name}.{net.name} left unconnected",
+                instance.line,
+            )
+
+
+def _renamer(module: ast.Module, prefix: str):
+    """Returns name -> Ident/Number mapping for one scope."""
+
+    def rename(name: str):
+        if name in module.parameters:
+            return ast.Number(value=module.parameters[name])
+        return ast.Ident(name=prefix + name)
+
+    return rename
+
+
+def _rewrite_expr(expr: ast.Expr, rename) -> ast.Expr:
+    if isinstance(expr, ast.Number):
+        return expr
+    if isinstance(expr, ast.Ident):
+        return rename(expr.name)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(op=expr.op, operand=_rewrite_expr(expr.operand, rename))
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            op=expr.op,
+            left=_rewrite_expr(expr.left, rename),
+            right=_rewrite_expr(expr.right, rename),
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            condition=_rewrite_expr(expr.condition, rename),
+            if_true=_rewrite_expr(expr.if_true, rename),
+            if_false=_rewrite_expr(expr.if_false, rename),
+        )
+    if isinstance(expr, ast.Index):
+        base = rename(expr.base)
+        if isinstance(base, ast.Number):
+            raise ElaborationError("cannot index a parameter")
+        return ast.Index(base=base.name, index=_rewrite_expr(expr.index, rename))
+    raise ElaborationError(f"unknown expression node {expr!r}")
+
+
+def _rewrite_statement(statement: ast.Statement, rename) -> ast.Statement:
+    if isinstance(statement, ast.Assign):
+        target = rename(statement.target)
+        if isinstance(target, ast.Number):
+            raise ElaborationError("cannot assign to a parameter", statement.line)
+        return ast.Assign(
+            target=target.name,
+            value=_rewrite_expr(statement.value, rename),
+            nonblocking=statement.nonblocking,
+            line=statement.line,
+        )
+    if isinstance(statement, ast.If):
+        return ast.If(
+            condition=_rewrite_expr(statement.condition, rename),
+            then_body=[_rewrite_statement(s, rename) for s in statement.then_body],
+            else_body=[_rewrite_statement(s, rename) for s in statement.else_body],
+        )
+    if isinstance(statement, ast.Case):
+        return ast.Case(
+            subject=_rewrite_expr(statement.subject, rename),
+            items=[
+                (
+                    None if keys is None else [_rewrite_expr(k, rename) for k in keys],
+                    [_rewrite_statement(s, rename) for s in body],
+                )
+                for keys, body in statement.items
+            ],
+        )
+    raise ElaborationError(f"unknown statement node {statement!r}")

@@ -1,0 +1,119 @@
+"""Tokenizer for the synthesizable Verilog subset.
+
+Comments are significant twice over: ``// translate_off`` /
+``// translate_on`` remove diagnostic-only code from the token stream
+(exactly the paper's mechanism for non-conforming Verilog), and ``// @...``
+annotation directives are preserved as :class:`Token` objects of kind
+``DIRECTIVE`` so the parser can attach them to the following declaration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.hdl.errors import LexError
+
+KEYWORDS = {
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "begin", "end", "if", "else", "case", "endcase",
+    "default", "posedge", "negedge", "parameter", "localparam", "initial",
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "=", "@", "#",
+    "?", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", ".",
+]
+
+_NUMBER_RE = re.compile(
+    r"(?:(\d+)\s*)?'\s*([bBdDhH])\s*([0-9a-fA-F_xXzZ]+)|(\d[\d_]*)"
+)
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_DIRECTIVE_RE = re.compile(r"//\s*@(\w+)(?:\s+(.*?))?\s*$")
+_TRANSLATE_RE = re.compile(r"//\s*translate_(on|off)\s*$")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'KW', 'ID', 'NUM', 'OP', 'DIRECTIVE'
+    value: object   # str for most; (name, arg) for DIRECTIVE; (int, width) for NUM
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+def _parse_number(match: re.Match, line: int) -> "Token":
+    if match.group(4) is not None:
+        return Token("NUM", (int(match.group(4).replace("_", "")), None), line)
+    width = int(match.group(1)) if match.group(1) else None
+    base_char = match.group(2).lower()
+    digits = match.group(3).replace("_", "")
+    if "x" in digits.lower() or "z" in digits.lower():
+        raise LexError("x/z literals are not part of the synthesizable subset", line)
+    base = {"b": 2, "d": 10, "h": 16}[base_char]
+    return Token("NUM", (int(digits, base), width), line)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; honours translate_off/on; keeps directives."""
+    tokens: List[Token] = []
+    translating = True
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line
+        # Block comments within a line (multi-line /* */ unsupported by the
+        # stylized subset; reject rather than mis-lex).
+        if "/*" in line:
+            if "*/" not in line:
+                raise LexError("multi-line /* */ comments are not supported", line_no)
+            line = re.sub(r"/\*.*?\*/", " ", line)
+        comment_index = line.find("//")
+        comment = line[comment_index:] if comment_index >= 0 else ""
+        code = line[:comment_index] if comment_index >= 0 else line
+
+        translate_match = _TRANSLATE_RE.match(comment.strip()) if comment else None
+        if translate_match:
+            translating = translate_match.group(1) == "on"
+            continue
+        if not translating:
+            continue
+
+        directive_match = _DIRECTIVE_RE.match(comment.strip()) if comment else None
+
+        position = 0
+        while position < len(code):
+            char = code[position]
+            if char.isspace():
+                position += 1
+                continue
+            number_match = _NUMBER_RE.match(code, position)
+            if number_match and (char.isdigit() or char == "'"):
+                tokens.append(_parse_number(number_match, line_no))
+                position = number_match.end()
+                continue
+            ident_match = _IDENT_RE.match(code, position)
+            if ident_match:
+                word = ident_match.group(0)
+                kind = "KW" if word in KEYWORDS else "ID"
+                tokens.append(Token(kind, word, line_no))
+                position = ident_match.end()
+                continue
+            for op in OPERATORS:
+                if code.startswith(op, position):
+                    tokens.append(Token("OP", op, line_no))
+                    position += len(op)
+                    break
+            else:
+                raise LexError(f"unexpected character {char!r}", line_no)
+        if directive_match:
+            tokens.append(
+                Token(
+                    "DIRECTIVE",
+                    (directive_match.group(1), directive_match.group(2)),
+                    line_no,
+                )
+            )
+    return tokens

@@ -1,0 +1,418 @@
+"""Recursive-descent parser for the synthesizable Verilog subset."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdl import ast
+from repro.hdl.errors import ParseError
+from repro.hdl.lexer import Token, tokenize
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+        self.pending_directives: Dict[str, Optional[str]] = {}
+
+    def _skip_directives(self) -> None:
+        while (
+            self._position < len(self._tokens)
+            and self._tokens[self._position].kind == "DIRECTIVE"
+        ):
+            name, arg = self._tokens[self._position].value
+            self.pending_directives[name] = arg
+            self._position += 1
+
+    def take_directives(self) -> Dict[str, Optional[str]]:
+        taken = self.pending_directives
+        self.pending_directives = {}
+        return taken
+
+    def peek(self) -> Optional[Token]:
+        self._skip_directives()
+        if self._position >= len(self._tokens):
+            return None
+        return self._tokens[self._position]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._position += 1
+        return token
+
+    def expect(self, kind: str, value=None) -> Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, got {token.value!r}", token.line)
+        return token
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        token = self.peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self._position += 1
+            return token
+        return None
+
+    @property
+    def line(self) -> int:
+        token = self.peek()
+        return token.line if token else 0
+
+
+def parse(source: str) -> ast.Design:
+    """Parse a source file into a :class:`~repro.hdl.ast.Design`."""
+    stream = _TokenStream(tokenize(source))
+    modules: Dict[str, ast.Module] = {}
+    while stream.peek() is not None:
+        module = _parse_module(stream)
+        if module.name in modules:
+            raise ParseError(f"duplicate module {module.name!r}", module.line)
+        modules[module.name] = module
+    return ast.Design(modules=modules)
+
+
+# ------------------------------------------------------------------ modules
+
+
+def _parse_module(stream: _TokenStream) -> ast.Module:
+    stream.take_directives()
+    start = stream.expect("KW", "module")
+    name = stream.expect("ID").value
+    module = ast.Module(
+        name=name, ports=[], nets={}, parameters={}, assigns=[],
+        always_blocks=[], instances=[], line=start.line,
+    )
+    if stream.accept("OP", "("):
+        _parse_port_list(stream, module)
+    stream.expect("OP", ";")
+    while not stream.accept("KW", "endmodule"):
+        _parse_module_item(stream, module)
+    return module
+
+
+def _parse_range(stream: _TokenStream) -> Tuple[int, int]:
+    if not stream.accept("OP", "["):
+        return 0, 0
+    msb = _require_const(_parse_expression(stream), stream)
+    stream.expect("OP", ":")
+    lsb = _require_const(_parse_expression(stream), stream)
+    stream.expect("OP", "]")
+    return msb, lsb
+
+
+def _require_const(expr: ast.Expr, stream: _TokenStream) -> int:
+    if not isinstance(expr, ast.Number):
+        raise ParseError("constant expression required in range", stream.line)
+    return expr.value
+
+
+def _parse_port_list(stream: _TokenStream, module: ast.Module) -> None:
+    if stream.accept("OP", ")"):
+        return
+    while True:
+        directives = stream.take_directives()
+        direction_token = stream.peek()
+        direction = None
+        if direction_token and direction_token.kind == "KW" and direction_token.value in (
+            "input", "output", "inout"
+        ):
+            stream.next()
+            if direction_token.value == "inout":
+                raise ParseError("inout ports are not synthesizable-subset", stream.line)
+            direction = direction_token.value
+        kind = "wire"
+        if stream.accept("KW", "reg"):
+            kind = "reg"
+        elif stream.accept("KW", "wire"):
+            kind = "wire"
+        msb, lsb = _parse_range(stream)
+        directives.update(stream.take_directives())
+        name_token = stream.expect("ID")
+        if direction is None:
+            raise ParseError(
+                f"port {name_token.value!r} needs a direction in ANSI style",
+                name_token.line,
+            )
+        net = ast.Net(
+            name=name_token.value, kind=kind, msb=msb, lsb=lsb,
+            direction=direction, annotations=directives, line=name_token.line,
+        )
+        module.ports.append(net.name)
+        module.nets[net.name] = net
+        if stream.accept("OP", ")"):
+            return
+        stream.expect("OP", ",")
+
+
+def _parse_module_item(stream: _TokenStream, module: ast.Module) -> None:
+    token = stream.peek()
+    if token is None:
+        raise ParseError("unexpected end of input inside module")
+    if token.kind == "KW" and token.value in ("wire", "reg"):
+        _parse_net_declaration(stream, module)
+    elif token.kind == "KW" and token.value in ("parameter", "localparam"):
+        _parse_parameter(stream, module)
+    elif token.kind == "KW" and token.value == "assign":
+        _parse_continuous_assign(stream, module)
+    elif token.kind == "KW" and token.value == "always":
+        _parse_always(stream, module)
+    elif token.kind == "KW" and token.value in ("input", "output"):
+        raise ParseError(
+            "non-ANSI port declarations are not supported; declare ports in "
+            "the module header", token.line,
+        )
+    elif token.kind == "ID":
+        _parse_instance(stream, module)
+    else:
+        raise ParseError(f"unexpected token {token.value!r} in module body", token.line)
+
+
+def _parse_net_declaration(stream: _TokenStream, module: ast.Module) -> None:
+    directives = stream.take_directives()
+    kind = stream.next().value  # wire | reg
+    msb, lsb = _parse_range(stream)
+    while True:
+        name_token = stream.expect("ID")
+        if name_token.value in module.nets:
+            raise ParseError(f"duplicate net {name_token.value!r}", name_token.line)
+        net = ast.Net(
+            name=name_token.value, kind=kind, msb=msb, lsb=lsb,
+            annotations=dict(directives), line=name_token.line,
+        )
+        module.nets[net.name] = net
+        if stream.accept("OP", "="):
+            # wire w = expr;  (declaration assignment)
+            value = _parse_expression(stream)
+            module.assigns.append(
+                ast.ContinuousAssign(target=net.name, value=value, line=name_token.line)
+            )
+        if stream.accept("OP", ";"):
+            return
+        stream.expect("OP", ",")
+
+
+def _parse_parameter(stream: _TokenStream, module: ast.Module) -> None:
+    stream.next()  # parameter | localparam
+    _parse_range(stream)
+    while True:
+        name = stream.expect("ID").value
+        stream.expect("OP", "=")
+        value = _parse_expression(stream)
+        module.parameters[name] = _fold_constant(value, module.parameters, stream)
+        if stream.accept("OP", ";"):
+            return
+        stream.expect("OP", ",")
+
+
+def _fold_constant(expr: ast.Expr, parameters: Dict[str, int], stream) -> int:
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Ident) and expr.name in parameters:
+        return parameters[expr.name]
+    if isinstance(expr, ast.Binary):
+        left = _fold_constant(expr.left, parameters, stream)
+        right = _fold_constant(expr.right, parameters, stream)
+        ops = {
+            "+": lambda: left + right, "-": lambda: left - right,
+            "*": lambda: left * right, "<<": lambda: left << right,
+            ">>": lambda: left >> right,
+        }
+        if expr.op in ops:
+            return ops[expr.op]()
+    raise ParseError("parameter value must be a constant expression", stream.line)
+
+
+def _parse_continuous_assign(stream: _TokenStream, module: ast.Module) -> None:
+    start = stream.expect("KW", "assign")
+    target = stream.expect("ID").value
+    stream.expect("OP", "=")
+    value = _parse_expression(stream)
+    stream.expect("OP", ";")
+    module.assigns.append(ast.ContinuousAssign(target=target, value=value, line=start.line))
+
+
+def _parse_always(stream: _TokenStream, module: ast.Module) -> None:
+    start = stream.expect("KW", "always")
+    stream.expect("OP", "@")
+    clocked = False
+    if stream.accept("OP", "("):
+        if stream.accept("KW", "posedge"):
+            clocked = True
+            stream.expect("ID")  # clock name (single-clock designs)
+        elif stream.accept("KW", "negedge"):
+            raise ParseError("negedge clocking is not supported", start.line)
+        elif stream.accept("OP", "*"):
+            pass
+        else:
+            raise ParseError(
+                "only @(posedge clk) and @(*) sensitivity lists are in the "
+                "stylized subset", start.line,
+            )
+        stream.expect("OP", ")")
+    else:
+        stream.expect("OP", "*")
+    body = _parse_statement_block(stream)
+    module.always_blocks.append(ast.AlwaysBlock(clocked=clocked, body=body, line=start.line))
+
+
+def _parse_instance(stream: _TokenStream, module: ast.Module) -> None:
+    module_name = stream.expect("ID").value
+    instance_name = stream.expect("ID").value
+    stream.expect("OP", "(")
+    connections: Dict[str, ast.Expr] = {}
+    if not stream.accept("OP", ")"):
+        while True:
+            stream.expect("OP", ".")
+            port = stream.expect("ID").value
+            stream.expect("OP", "(")
+            connections[port] = _parse_expression(stream)
+            stream.expect("OP", ")")
+            if stream.accept("OP", ")"):
+                break
+            stream.expect("OP", ",")
+    stream.expect("OP", ";")
+    module.instances.append(
+        ast.Instance(module=module_name, name=instance_name, connections=connections)
+    )
+
+
+# ------------------------------------------------------------------ statements
+
+
+def _parse_statement_block(stream: _TokenStream) -> List[ast.Statement]:
+    if stream.accept("KW", "begin"):
+        statements = []
+        while not stream.accept("KW", "end"):
+            statements.append(_parse_statement(stream))
+        return statements
+    return [_parse_statement(stream)]
+
+
+def _parse_statement(stream: _TokenStream) -> ast.Statement:
+    token = stream.peek()
+    if token is None:
+        raise ParseError("unexpected end of input in statement")
+    if token.kind == "KW" and token.value == "if":
+        return _parse_if(stream)
+    if token.kind == "KW" and token.value == "case":
+        return _parse_case(stream)
+    if token.kind == "ID":
+        target_token = stream.next()
+        nonblocking = False
+        if stream.accept("OP", "<="):
+            nonblocking = True
+        else:
+            stream.expect("OP", "=")
+        value = _parse_expression(stream)
+        stream.expect("OP", ";")
+        return ast.Assign(
+            target=target_token.value, value=value,
+            nonblocking=nonblocking, line=target_token.line,
+        )
+    raise ParseError(f"unexpected token {token.value!r} in statement", token.line)
+
+
+def _parse_if(stream: _TokenStream) -> ast.If:
+    stream.expect("KW", "if")
+    stream.expect("OP", "(")
+    condition = _parse_expression(stream)
+    stream.expect("OP", ")")
+    then_body = _parse_statement_block(stream)
+    else_body: List[ast.Statement] = []
+    if stream.accept("KW", "else"):
+        else_body = _parse_statement_block(stream)
+    return ast.If(condition=condition, then_body=then_body, else_body=else_body)
+
+
+def _parse_case(stream: _TokenStream) -> ast.Case:
+    stream.expect("KW", "case")
+    stream.expect("OP", "(")
+    subject = _parse_expression(stream)
+    stream.expect("OP", ")")
+    items: List = []
+    while not stream.accept("KW", "endcase"):
+        if stream.accept("KW", "default"):
+            stream.accept("OP", ":")
+            items.append((None, _parse_statement_block(stream)))
+            continue
+        keys = [_parse_expression(stream)]
+        while stream.accept("OP", ","):
+            keys.append(_parse_expression(stream))
+        stream.expect("OP", ":")
+        items.append((keys, _parse_statement_block(stream)))
+    return ast.Case(subject=subject, items=items)
+
+
+# ------------------------------------------------------------------ expressions
+
+#: Binary operators by precedence, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+def _parse_expression(stream: _TokenStream) -> ast.Expr:
+    return _parse_ternary(stream)
+
+
+def _parse_ternary(stream: _TokenStream) -> ast.Expr:
+    condition = _parse_binary(stream, 0)
+    if stream.accept("OP", "?"):
+        if_true = _parse_ternary(stream)
+        stream.expect("OP", ":")
+        if_false = _parse_ternary(stream)
+        return ast.Ternary(condition=condition, if_true=if_true, if_false=if_false)
+    return condition
+
+
+def _parse_binary(stream: _TokenStream, level: int) -> ast.Expr:
+    if level >= len(_PRECEDENCE):
+        return _parse_unary(stream)
+    left = _parse_binary(stream, level + 1)
+    while True:
+        token = stream.peek()
+        if token and token.kind == "OP" and token.value in _PRECEDENCE[level]:
+            # '<=' is comparison in expressions (assignment handled upstream)
+            stream.next()
+            right = _parse_binary(stream, level + 1)
+            left = ast.Binary(op=token.value, left=left, right=right)
+        else:
+            return left
+
+
+def _parse_unary(stream: _TokenStream) -> ast.Expr:
+    token = stream.peek()
+    if token and token.kind == "OP" and token.value in ("!", "~", "-", "+", "&", "|", "^"):
+        stream.next()
+        return ast.Unary(op=token.value, operand=_parse_unary(stream))
+    return _parse_primary(stream)
+
+
+def _parse_primary(stream: _TokenStream) -> ast.Expr:
+    token = stream.next()
+    if token.kind == "NUM":
+        value, width = token.value
+        return ast.Number(value=value, width=width)
+    if token.kind == "ID":
+        if stream.accept("OP", "["):
+            index = _parse_expression(stream)
+            stream.expect("OP", "]")
+            return ast.Index(base=token.value, index=index)
+        return ast.Ident(name=token.value)
+    if token.kind == "OP" and token.value == "(":
+        inner = _parse_expression(stream)
+        stream.expect("OP", ")")
+        return inner
+    raise ParseError(f"unexpected token {token.value!r} in expression", token.line)

@@ -1,0 +1,51 @@
+"""The Stanford FLASH Protocol Processor (PP) substrate.
+
+The PP (paper section 2) is a DLX-based, statically scheduled, dual-issue
+RISC core embedded in the MAGIC node controller.  It has no virtual memory
+and no recoverable exceptions, but a high-performance memory system:
+
+- two-way set-associative data cache with *fill-before-spill* refill (a
+  dirty victim is copied to a spill buffer so the fill can proceed first)
+  and *critical-word-first* restart;
+- split stores (tag probe one cycle, data write later) with *conflict
+  stalls* when a following access needs the same line;
+- an instruction cache whose refill shares one memory-controller port with
+  the data cache (the FSM interlock the paper credits for the manageable
+  state count);
+- ``switch``/``send`` instructions that stall the pipe when the Inbox or
+  Outbox is not ready.
+
+This package provides the ISA and assembler, an instruction-level
+*specification* simulator, a cycle-accurate RTL-level *implementation*
+model (where bugs are injected), abstract environment models, a
+hand-derived Synchronous Murphi model of the control (Fig. 3.2), and the
+Verilog source of the control sections for the HDL-translation path.
+"""
+
+from repro.pp.isa import (
+    InstructionClass,
+    Instruction,
+    Opcode,
+    INSTRUCTION_CLASS_EFFECTS,
+    classify_opcode,
+    random_instruction,
+)
+from repro.pp.asm import assemble, disassemble, AssemblerError
+from repro.pp.spec import SpecSimulator, ArchState
+from repro.pp.fsm_model import build_pp_control_model, PPModelConfig
+
+__all__ = [
+    "InstructionClass",
+    "Instruction",
+    "Opcode",
+    "INSTRUCTION_CLASS_EFFECTS",
+    "classify_opcode",
+    "random_instruction",
+    "assemble",
+    "disassemble",
+    "AssemblerError",
+    "SpecSimulator",
+    "ArchState",
+    "build_pp_control_model",
+    "PPModelConfig",
+]

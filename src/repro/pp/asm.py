@@ -1,0 +1,187 @@
+"""A small two-pass assembler / disassembler for the PP ISA.
+
+Syntax (one instruction per line; ``;`` or ``#`` start comments)::
+
+    loop:   addi r1, r0, 4      ; rd, rs, imm
+            lw   r2, 8(r1)      ; rd, offset(rs)
+            sw   r2, 12(r1)
+            add  r3, r1, r2     ; rd, rs, rt
+            switch r4
+            send r4
+            beq  r1, r2, loop   ; label resolved to signed word offset
+            nop
+
+Labels resolve to PC-relative word offsets for branches and absolute word
+addresses for ``j``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.pp.isa import (
+    I_FORMAT,
+    Instruction,
+    Opcode,
+    R_FORMAT,
+    X_FORMAT,
+)
+
+
+class AssemblerError(Exception):
+    """Raised on any syntax or semantic error, with line information."""
+
+    def __init__(self, line_no: int, message: str):
+        self.line_no = line_no
+        super().__init__(f"line {line_no}: {message}")
+
+
+_LABEL_RE = re.compile(r"^(\w+):")
+_REG_RE = re.compile(r"^[rR](\d{1,2})$")
+_MEM_RE = re.compile(r"^(-?\w+)\((\s*[rR]\d{1,2}\s*)\)$")
+
+_MNEMONICS: Dict[str, Opcode] = {op.name.lower(): op for op in Opcode}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(line_no, f"expected register, got {token!r}")
+    num = int(match.group(1))
+    if num >= 32:
+        raise AssemblerError(line_no, f"register r{num} out of range")
+    return num
+
+
+def _parse_imm(token: str, labels: Dict[str, int], line_no: int, pc: int, relative: bool) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token] - (pc + 1) if relative else labels[token]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(line_no, f"bad immediate or unknown label {token!r}") from exc
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble ``source`` into a list of instructions (word address order)."""
+    # Pass 1: collect labels.
+    labels: Dict[str, int] = {}
+    statements: List[Tuple[int, str]] = []
+    pc = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(line_no, f"duplicate label {label!r}")
+            labels[label] = pc
+            line = line[match.end():].strip()
+        if line:
+            statements.append((line_no, line))
+            pc += 1
+
+    # Pass 2: encode.
+    program: List[Instruction] = []
+    for pc, (line_no, line) in enumerate(statements):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = [p.strip() for p in parts[1].split(",")] if len(parts) > 1 else []
+        opcode = _MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(line_no, f"unknown mnemonic {mnemonic!r}")
+        program.append(_encode_one(opcode, operands, labels, line_no, pc))
+    return program
+
+
+def _encode_one(
+    opcode: Opcode,
+    operands: List[str],
+    labels: Dict[str, int],
+    line_no: int,
+    pc: int,
+) -> Instruction:
+    if opcode is Opcode.NOP:
+        if operands:
+            raise AssemblerError(line_no, "nop takes no operands")
+        return Instruction(Opcode.NOP)
+    if opcode in R_FORMAT:
+        if len(operands) != 3:
+            raise AssemblerError(line_no, f"{opcode.name.lower()} needs rd, rs, rt")
+        return Instruction(
+            opcode,
+            rd=_parse_reg(operands[0], line_no),
+            rs=_parse_reg(operands[1], line_no),
+            rt=_parse_reg(operands[2], line_no),
+        )
+    if opcode in X_FORMAT:
+        if len(operands) != 1:
+            raise AssemblerError(line_no, f"{opcode.name.lower()} needs one register")
+        return Instruction(opcode, rd=_parse_reg(operands[0], line_no))
+    if opcode in (Opcode.LW, Opcode.SW):
+        if len(operands) != 2:
+            raise AssemblerError(line_no, f"{opcode.name.lower()} needs rd, offset(rs)")
+        match = _MEM_RE.match(operands[1])
+        if not match:
+            raise AssemblerError(line_no, f"expected offset(rs), got {operands[1]!r}")
+        offset = _parse_imm(match.group(1), labels, line_no, pc, relative=False)
+        return Instruction(
+            opcode,
+            rd=_parse_reg(operands[0], line_no),
+            rs=_parse_reg(match.group(2), line_no),
+            imm=offset,
+        )
+    if opcode in (Opcode.BEQ, Opcode.BNE):
+        if len(operands) != 3:
+            raise AssemblerError(line_no, f"{opcode.name.lower()} needs rs, rt(rd), target")
+        return Instruction(
+            opcode,
+            rd=_parse_reg(operands[1], line_no),
+            rs=_parse_reg(operands[0], line_no),
+            imm=_parse_imm(operands[2], labels, line_no, pc, relative=True),
+        )
+    if opcode is Opcode.J:
+        if len(operands) != 1:
+            raise AssemblerError(line_no, "j needs one target")
+        return Instruction(opcode, imm=_parse_imm(operands[0], labels, line_no, pc, relative=False))
+    if opcode in I_FORMAT:
+        if len(operands) != 3:
+            raise AssemblerError(line_no, f"{opcode.name.lower()} needs rd, rs, imm")
+        return Instruction(
+            opcode,
+            rd=_parse_reg(operands[0], line_no),
+            rs=_parse_reg(operands[1], line_no),
+            imm=_parse_imm(operands[2], labels, line_no, pc, relative=False),
+        )
+    raise AssemblerError(line_no, f"unhandled opcode {opcode!r}")  # pragma: no cover
+
+
+def disassemble(instruction: Instruction) -> str:
+    """Render one instruction back to assembler syntax."""
+    op = instruction.opcode
+    name = op.name.lower()
+    if op is Opcode.NOP:
+        return "nop"
+    if op in R_FORMAT:
+        return f"{name} r{instruction.rd}, r{instruction.rs}, r{instruction.rt}"
+    if op in X_FORMAT:
+        return f"{name} r{instruction.rd}"
+    if op in (Opcode.LW, Opcode.SW):
+        return f"{name} r{instruction.rd}, {instruction.imm}(r{instruction.rs})"
+    if op in (Opcode.BEQ, Opcode.BNE):
+        return f"{name} r{instruction.rs}, r{instruction.rd}, {instruction.imm}"
+    if op is Opcode.J:
+        return f"{name} {instruction.imm}"
+    return f"{name} r{instruction.rd}, r{instruction.rs}, {instruction.imm}"

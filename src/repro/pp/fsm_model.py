@@ -1,0 +1,380 @@
+"""The Synchronous Murphi model of the PP control logic (Fig. 3.2).
+
+This is what the paper's HDL-to-FSM translator produces from the annotated
+Verilog: the interacting control FSMs (I-cache refill, D-cache refill,
+fill/spill, split-store/conflict, stall) plus abstract models of the
+datapath and the other MAGIC units.  Datapath values are reduced to the
+paper's distinguished cases -- addresses to a hit/miss bit, instructions to
+the five classes of Table 3.1 -- and every abstract input (cache outcome,
+Inbox/Outbox readiness, memory pacing, victim dirtiness, address-conflict
+comparator) is a nondeterministic choice the enumerator permutes.
+
+The model mirrors the RTL core's cycle structure so that a transition tour
+of this graph maps onto per-event stimulus queues for the RTL simulation
+(see :mod:`repro.vectors`).  :meth:`PPControlModel.transition_events`
+reports which interface events fire on a given transition; the vector
+generator uses it to know which queues each tour arc feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.smurphi import (
+    BoolType,
+    ChoicePoint,
+    EnumType,
+    RangeType,
+    StateVar,
+    SyncModel,
+)
+
+#: Abstract pipeline-register contents: an instruction class or a bubble.
+PIPE_CLASSES = ("BUBBLE", "ALU", "LD", "SD", "SWITCH", "SEND")
+IREFILL_STATES = ("IDLE", "REQ", "FILL", "FIXUP")
+DREFILL_STATES = ("IDLE", "SPILL", "REQ", "FILL_CRIT", "FILL_REST")
+SPILL_STATES = ("EMPTY", "HELD", "WB")
+MISS_OWNERS = ("NONE", "LOAD", "STORE")
+
+FETCH_CLASSES = ("ALU", "LD", "SD", "SWITCH", "SEND")
+
+
+@dataclass(frozen=True)
+class PPModelConfig:
+    """Scaling knobs for the control model.
+
+    ``fill_words`` is the number of memory-controller word deliveries per
+    line refill; it sizes the fill counters and is the main lever on the
+    reachable state count (the Table 3.2 sweep varies it).
+    """
+
+    fill_words: int = 2
+    model_dual_issue: bool = False
+    #: Trailing write-back pipeline stages tracked by the control (0-3).
+    #: Each multiplies the state space by ~|classes| -- the lever used to
+    #: scale the model toward the paper's 200K-state graph.
+    extra_pipe_stages: int = 0
+
+    def __post_init__(self):
+        if self.fill_words < 1:
+            raise ValueError("fill_words must be >= 1")
+        if not 0 <= self.extra_pipe_stages <= 3:
+            raise ValueError("extra_pipe_stages must be in 0..3")
+
+
+class PPControlModel:
+    """Builder/interpreter for the PP control model.
+
+    Use :func:`build_pp_control_model` for the plain :class:`SyncModel`;
+    keep a reference to this object when you also need per-transition
+    event information (the vector generator does).
+    """
+
+    def __init__(self, config: Optional[PPModelConfig] = None):
+        self.config = config or PPModelConfig()
+        fw = self.config.fill_words
+        pipe = EnumType("pipe_class", PIPE_CLASSES)
+        self.state_vars = [
+            StateVar("ifq", pipe, "BUBBLE"),
+            StateVar("ex", pipe, "BUBBLE"),
+            StateVar("mem", pipe, "BUBBLE"),
+            StateVar("irefill", EnumType("irefill", IREFILL_STATES), "IDLE"),
+            StateVar("ifill_cnt", RangeType(0, fw), 0),
+            StateVar("drefill", EnumType("drefill", DREFILL_STATES), "IDLE"),
+            StateVar("dfill_cnt", RangeType(0, fw), 0),
+            StateVar("spill", EnumType("spill", SPILL_STATES), "EMPTY"),
+            StateVar("st_pend", BoolType(), False),
+            StateVar("miss_owner", EnumType("miss_owner", MISS_OWNERS), "NONE"),
+        ]
+        for i in range(self.config.extra_pipe_stages):
+            self.state_vars.append(StateVar(f"wb{i}", pipe, "BUBBLE"))
+        choices = [
+            ChoicePoint(
+                "fetch_class",
+                EnumType("fetch_class", FETCH_CLASSES),
+                guard=lambda s: s["irefill"] == "IDLE",
+            ),
+            ChoicePoint(
+                "i_hit", BoolType(), guard=lambda s: s["irefill"] == "IDLE",
+                inactive_value=True,
+            ),
+            ChoicePoint(
+                "d_hit", BoolType(), guard=lambda s: s["mem"] in ("LD", "SD"),
+                inactive_value=True,
+            ),
+            ChoicePoint(
+                "conflict", BoolType(),
+                guard=lambda s: s["mem"] == "LD" and s["st_pend"],
+            ),
+            ChoicePoint(
+                "victim_dirty", BoolType(),
+                guard=lambda s: s["mem"] in ("LD", "SD"),
+            ),
+            ChoicePoint(
+                "inbox_ready", BoolType(), guard=lambda s: s["mem"] == "SWITCH",
+                inactive_value=True,
+            ),
+            ChoicePoint(
+                "outbox_ready", BoolType(), guard=lambda s: s["mem"] == "SEND",
+                inactive_value=True,
+            ),
+            ChoicePoint(
+                "mem_word", BoolType(), guard=self._port_busy, inactive_value=True,
+            ),
+        ]
+        if self.config.model_dual_issue:
+            choices.append(
+                ChoicePoint(
+                    "dual", BoolType(), guard=lambda s: s["irefill"] == "IDLE",
+                )
+            )
+        self.choices = choices
+        self.choice_names = [c.name for c in choices]
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _port_busy(state: Mapping) -> bool:
+        """The shared memory port is transferring (a word may arrive)."""
+        return (
+            state["drefill"] in ("FILL_CRIT", "FILL_REST")
+            or state["irefill"] == "FILL"
+            or state["spill"] == "WB"
+        )
+
+    # -- the synchronous transition function ----------------------------------------
+
+    def step(self, state: Mapping, choice: Mapping) -> Dict:
+        ns, _ = self._step(state, choice)
+        return ns
+
+    def transition_events(self, state: Mapping, choice: Mapping) -> List[Tuple]:
+        """Interface events fired by this transition, in order:
+
+        - ``("fetch", class, i_hit, dual)`` -- an instruction (pair) was
+          fetched, or an I-miss started (``i_hit`` False, no class issued).
+        - ``("d_probe", hit)`` -- the D-cache tag compare ran.
+        - ``("refill_start", victim_dirty)`` -- a D-refill began.
+        - ``("conflict", bool)`` -- the load/pending-store comparator ran.
+        - ``("inbox_query", ready)`` / ``("outbox_query", ready)``.
+        - ``("mem_word", bool)`` -- the memory port was busy and did/did not
+          deliver a word this cycle.
+        """
+        _, events = self._step(state, choice)
+        return events
+
+    def _step(self, state: Mapping, c: Mapping) -> Tuple[Dict, List[Tuple]]:
+        fw = self.config.fill_words
+        ns = dict(state)
+        events: List[Tuple] = []
+
+        # ---- shared memory port: one word may arrive for the owner.
+        port_owner = None
+        if state["drefill"] in ("FILL_CRIT", "FILL_REST"):
+            port_owner = "D"
+        elif state["irefill"] == "FILL":
+            port_owner = "I"
+        elif state["spill"] == "WB":
+            port_owner = "WB"
+        delivered = port_owner is not None and c["mem_word"]
+        if port_owner is not None:
+            events.append(("mem_word", bool(c["mem_word"])))
+
+        d_critical = False
+        d_fill_done = False
+        if port_owner == "D" and delivered:
+            if state["drefill"] == "FILL_CRIT":
+                d_critical = True
+                if fw == 1:
+                    ns["drefill"] = "IDLE"
+                    ns["dfill_cnt"] = 0
+                    d_fill_done = True
+                else:
+                    ns["drefill"] = "FILL_REST"
+                    ns["dfill_cnt"] = 1
+            else:  # FILL_REST
+                count = state["dfill_cnt"] + 1
+                ns["dfill_cnt"] = count
+                if count >= fw:
+                    ns["drefill"] = "IDLE"
+                    ns["dfill_cnt"] = 0
+                    d_fill_done = True
+        elif port_owner == "I" and delivered:
+            count = state["ifill_cnt"] + 1
+            ns["ifill_cnt"] = count
+            if count >= fw:
+                ns["irefill"] = "FIXUP"
+                ns["ifill_cnt"] = 0
+        elif port_owner == "WB" and delivered:
+            ns["spill"] = "EMPTY"
+
+        # ---- FSM housekeeping transitions (no port needed).
+        if state["drefill"] == "SPILL":
+            ns["drefill"] = "REQ"
+        if state["irefill"] == "FIXUP":
+            ns["irefill"] = "IDLE"
+
+        # ---- port grants, priority D > I > spill-WB.
+        port_busy_next = (
+            ns["drefill"] in ("FILL_CRIT", "FILL_REST")
+            or ns["irefill"] == "FILL"
+            or ns["spill"] == "WB"
+        )
+        if ns["drefill"] == "REQ" and state["drefill"] == "REQ" and not port_busy_next:
+            ns["drefill"] = "FILL_CRIT"
+            port_busy_next = True
+        if ns["irefill"] == "REQ" and not port_busy_next and ns["drefill"] == "IDLE":
+            ns["irefill"] = "FILL"
+            port_busy_next = True
+        if (
+            ns["spill"] == "HELD"
+            and ns["drefill"] == "IDLE"
+            and not port_busy_next
+            and ns["irefill"] != "FILL"
+        ):
+            ns["spill"] = "WB"
+
+        # ---- MEM stage.
+        mem = state["mem"]
+        mem_done = False
+        conflict_drained = False
+        if mem in ("BUBBLE", "ALU"):
+            mem_done = True
+        elif mem == "LD":
+            if state["miss_owner"] == "LOAD":
+                if d_critical:
+                    ns["miss_owner"] = "NONE"
+                    mem_done = True  # critical-word-first restart
+            elif state["st_pend"]:
+                events.append(("conflict", bool(c["conflict"])))
+                if c["conflict"]:
+                    ns["st_pend"] = False  # conflict stall: drain, retry next cycle
+                    conflict_drained = True
+                else:
+                    mem_done, conflict_drained = self._ld_access(state, ns, c, events)
+            else:
+                mem_done, conflict_drained = self._ld_access(state, ns, c, events)
+        elif mem == "SD":
+            if state["miss_owner"] == "STORE":
+                if ns["drefill"] == "IDLE" and d_fill_done:
+                    ns["miss_owner"] = "NONE"
+                    ns["st_pend"] = True  # split store posted after refill
+                    mem_done = True
+            elif state["st_pend"]:
+                ns["st_pend"] = False  # second store: conflict stall to drain
+                conflict_drained = True
+            elif self._dcache_busy(state):
+                pass  # structural stall
+            else:
+                events.append(("d_probe", bool(c["d_hit"])))
+                if c["d_hit"]:
+                    ns["st_pend"] = True
+                    mem_done = True
+                else:
+                    events.append(("refill_start", bool(c["victim_dirty"])))
+                    self._start_refill(ns, c)
+                    ns["miss_owner"] = "STORE"
+        elif mem == "SWITCH":
+            events.append(("inbox_query", bool(c["inbox_ready"])))
+            mem_done = bool(c["inbox_ready"])
+        elif mem == "SEND":
+            events.append(("outbox_query", bool(c["outbox_ready"])))
+            mem_done = bool(c["outbox_ready"])
+
+        # ---- split store's data-write cycle (cache idle, no mem op using it).
+        if (
+            ns["st_pend"]
+            and not conflict_drained
+            and mem in ("BUBBLE", "ALU")
+            and state["drefill"] == "IDLE"
+        ):
+            ns["st_pend"] = False
+
+        # ---- pipe advance (write-back stages drain even when MEM stalls).
+        previous = state["mem"] if mem_done else "BUBBLE"
+        for i in range(self.config.extra_pipe_stages):
+            ns[f"wb{i}"], previous = previous, state[f"wb{i}"]
+        ifq_after = state["ifq"]
+        if mem_done:
+            events.append(("pipe_advance",))
+            ns["mem"] = state["ex"]
+            ns["ex"] = state["ifq"]
+            ifq_after = "BUBBLE"
+
+        # ---- fetch (only when the I-cache front end is idle this cycle).
+        if state["irefill"] == "IDLE" and ifq_after == "BUBBLE":
+            dual = bool(c.get("dual", False))
+            events.append(("fetch", c["fetch_class"], bool(c["i_hit"]), dual))
+            if c["i_hit"]:
+                ifq_after = c["fetch_class"]
+            else:
+                ns["irefill"] = "REQ"
+        ns["ifq"] = ifq_after
+
+        return ns, events
+
+    def _ld_access(
+        self, state: Mapping, ns: Dict, c: Mapping, events: List[Tuple]
+    ) -> Tuple[bool, bool]:
+        """Load tag probe (no conflict): returns (mem_done, drained)."""
+        if self._dcache_busy(state):
+            return False, False  # structural stall
+        events.append(("d_probe", bool(c["d_hit"])))
+        if c["d_hit"]:
+            return True, False
+        events.append(("refill_start", bool(c["victim_dirty"])))
+        if state["st_pend"]:
+            ns["st_pend"] = False  # drain before the victim spill
+        self._start_refill(ns, c)
+        ns["miss_owner"] = "LOAD"
+        return False, False
+
+    @staticmethod
+    def _dcache_busy(state: Mapping) -> bool:
+        return state["drefill"] != "IDLE" or state["spill"] == "WB"
+
+    @staticmethod
+    def _start_refill(ns: Dict, c: Mapping) -> None:
+        if c["victim_dirty"]:
+            ns["drefill"] = "SPILL"
+            ns["spill"] = "HELD"
+        else:
+            ns["drefill"] = "REQ"
+        ns["dfill_cnt"] = 0
+
+    # -- SyncModel view ----------------------------------------------------------
+
+    def build(self) -> SyncModel:
+        return SyncModel(
+            name=f"pp_control(fill_words={self.config.fill_words})",
+            state_vars=self.state_vars,
+            choices=self.choices,
+            next_state=self.step,
+            invariants={
+                # Only one unit can own the shared memory port -- the
+                # interlock the paper credits for the tame state count.
+                "one_port_owner": lambda s: (
+                    (s["drefill"] in ("FILL_CRIT", "FILL_REST"))
+                    + (s["irefill"] == "FILL")
+                    + (s["spill"] == "WB")
+                ) <= 1,
+                # Before the critical word, a D-refill has a recorded owner.
+                "refill_has_owner": lambda s: (
+                    s["drefill"] not in ("SPILL", "REQ", "FILL_CRIT")
+                    or s["miss_owner"] != "NONE"
+                ),
+                # The fill counters only run while their fill is streaming.
+                "dfill_counter_gated": lambda s: (
+                    s["drefill"] == "FILL_REST" or s["dfill_cnt"] == 0
+                ),
+                "ifill_counter_gated": lambda s: (
+                    s["irefill"] == "FILL" or s["ifill_cnt"] == 0
+                ),
+            },
+        )
+
+
+def build_pp_control_model(config: Optional[PPModelConfig] = None) -> SyncModel:
+    """Public entry point: the PP control logic as a SyncModel."""
+    return PPControlModel(config).build()

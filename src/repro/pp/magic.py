@@ -1,0 +1,85 @@
+"""MAGIC-level modularization: validating the Outbox against an
+abstracted PP.
+
+Section 4 of the paper: "from the Outbox control logic, the entire PP
+looks like a single wire indicating that a SEND instruction was executed.
+All of the state present in the PP is abstracted to one bit in this
+case."  This module carries out exactly that experiment: an Outbox
+controller FSM (a two-entry egress queue handshaking with the network
+interface) whose only view of the 20+-bit PP control state is the 1-bit
+``pp_send`` choice.
+
+The paper also warns such interface abstractions may be too "liberal" --
+admitting input sequences the real PP cannot produce -- and proposes
+constraining them from the enumeration of the real unit.  The
+``constrained`` flag demonstrates the fix: the PP control enumeration
+shows a send can never execute while the Outbox stalls the pipe (the
+send sits frozen in MEM), so the constrained abstraction gates
+``pp_send`` on the stall -- removing the liberal-only back-pressure
+overflow behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.smurphi import BoolType, ChoicePoint, EnumType, RangeType, StateVar, SyncModel
+
+OUTBOX_STATES = ("EMPTY", "ONE", "FULL", "DRAIN")
+
+
+def build_outbox_model(constrained: bool = False) -> SyncModel:
+    """The Outbox controller with the PP abstracted to one bit.
+
+    State: a two-entry egress queue (EMPTY/ONE/FULL) plus a DRAIN state
+    entered when the queue overflows pressure and the PP must be stalled.
+    Choices: ``pp_send`` (the one-bit PP abstraction) and ``ni_ready``
+    (the network interface accepting a message this cycle).
+
+    ``constrained=True`` adds the enumeration-derived environment
+    constraint: the real PP cannot issue a send while the Outbox is
+    stalling the pipe.
+    """
+    state_vars = [
+        StateVar("q", EnumType("outbox_q", OUTBOX_STATES), "EMPTY"),
+        StateVar("pp_stalled", BoolType(), False),
+    ]
+
+    def nxt(s, c):
+        send = bool(c["pp_send"])
+        if constrained and s["pp_stalled"]:
+            # Enumeration of the real PP shows a send cannot execute while
+            # the Outbox stalls the pipe: the send is frozen in MEM.
+            send = False
+        drain = bool(c["ni_ready"])
+        occupancy = {"EMPTY": 0, "ONE": 1, "FULL": 2, "DRAIN": 2}[s["q"]]
+        overflow_pressure = send and occupancy >= 2
+        if send and occupancy < 2:
+            occupancy += 1
+        if drain and occupancy > 0:
+            occupancy -= 1
+        if overflow_pressure and occupancy >= 2:
+            # A send hammered a still-full queue: back-pressure state until
+            # the network interface drains an entry.
+            new_q = "DRAIN"
+        else:
+            new_q = ("EMPTY", "ONE", "FULL")[occupancy]
+        return {
+            "q": new_q,
+            "pp_stalled": new_q in ("FULL", "DRAIN"),
+        }
+
+    return SyncModel(
+        name=f"outbox_ctrl({'constrained' if constrained else 'liberal'})",
+        state_vars=state_vars,
+        choices=[
+            ChoicePoint("pp_send", BoolType()),
+            ChoicePoint("ni_ready", BoolType()),
+        ],
+        next_state=nxt,
+        invariants={
+            "stall_matches_queue": lambda s: s["pp_stalled"] == (
+                s["q"] in ("FULL", "DRAIN")
+            ),
+        },
+    )

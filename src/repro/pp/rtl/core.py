@@ -1,0 +1,737 @@
+"""The PP pipeline core: dual-issue, in-order, with the stall machine.
+
+Five stages (IF, RD, EX, MEM, WB) over the units of Fig. 3.2.  The pipe
+does not freeze globally: an I-stall starves the front end with bubbles
+while the back end drains, which is what makes *simultaneous* I- and
+D-side events (the paper's "multiple event" bug class) reachable.
+
+Bug-injection hooks for all six Table 2.1 bugs live here and in the cache
+units; each is guarded by a bug id in ``CoreConfig.bugs`` so a single
+switch turns a correct design into each of the documented faulty ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pp.isa import (
+    Instruction,
+    InstructionClass,
+    Opcode,
+    WORD_MASK,
+)
+from repro.pp.rtl.dcache import DCache, DRefillState
+from repro.pp.rtl.icache import ICache, IRefillState
+from repro.pp.rtl.inbox import Inbox
+from repro.pp.rtl.memctrl import MemoryController, Requester
+from repro.pp.rtl.memory import LINE_WORDS, MainMemory, line_base
+from repro.pp.rtl.outbox import Outbox
+from repro.pp.rtl.regfile import RegisterFile
+from repro.pp.rtl.stimulus import NaturalStimulus, StimulusSource
+
+#: The bit pattern latched from a floating (high-impedance) bus -- what a
+#: register receives when Bug #5's corrective rewrite never happens.
+GARBAGE_Z = 0x5A5A5A5A
+#: The value left in an unqualified latch that lost its data (Bug #2).
+LOST_DATA = 0x00000000
+
+BRANCH_OPCODES = (Opcode.BEQ, Opcode.BNE, Opcode.J)
+
+
+@dataclass
+class CoreConfig:
+    """Static configuration of the core (and which bugs are injected)."""
+
+    dual_issue: bool = True
+    icache_sets: int = 8
+    dcache_sets: int = 4
+    mem_latency: int = 2
+    text_base: int = 0x0010_0000
+    #: Squashing branches (the paper's section 4 extension): fetch
+    #: continues down the fall-through path and a taken branch squashes
+    #: the wrongly fetched instructions at resolution.  When off, fetch
+    #: simply waits for the branch to resolve (no speculation).
+    squashing_branches: bool = False
+    bugs: frozenset = frozenset()
+
+    def with_bugs(self, *bug_ids: int) -> "CoreConfig":
+        return CoreConfig(
+            dual_issue=self.dual_issue,
+            icache_sets=self.icache_sets,
+            dcache_sets=self.dcache_sets,
+            mem_latency=self.mem_latency,
+            text_base=self.text_base,
+            squashing_branches=self.squashing_branches,
+            bugs=frozenset(self.bugs) | frozenset(bug_ids),
+        )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of the cycle-level event trace (used by the Bug #5
+    timing-diagram benchmark and by debugging)."""
+
+    cycle: int
+    name: str
+    detail: str = ""
+
+
+@dataclass
+class MicroOp:
+    """One instruction in flight."""
+
+    instr: Instruction
+    pc: int
+    src1: int = 0        # regs[rs]
+    src2: int = 0        # regs[rt]
+    store_val: int = 0   # regs[rd] for SW / SEND
+    addr: int = 0        # effective address (EX)
+    result: Optional[int] = None
+    writes_reg: Optional[int] = None
+
+    @property
+    def klass(self) -> InstructionClass:
+        return self.instr.klass
+
+    @property
+    def is_mem(self) -> bool:
+        return self.klass in (InstructionClass.LD, InstructionClass.SD)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instr.opcode in BRANCH_OPCODES
+
+
+Bundle = List[MicroOp]
+
+
+class PPCore:
+    """Cycle-accurate PP model.
+
+    Parameters
+    ----------
+    program:
+        Instruction sequence, loaded at ``config.text_base``.
+    config:
+        Core configuration, including the injected-bug set.
+    stimulus:
+        Per-event forcing source (vector replay, random, or natural).
+    inbox_tasks:
+        Task words the Inbox supplies to ``switch``.
+    trace:
+        When true, record :class:`TraceEvent` entries in ``self.events``.
+    """
+
+    def __init__(
+        self,
+        program: Sequence[Instruction],
+        config: Optional[CoreConfig] = None,
+        stimulus: Optional[StimulusSource] = None,
+        inbox_tasks: Optional[Sequence[int]] = None,
+        trace: bool = False,
+    ):
+        self.config = config or CoreConfig()
+        self.stimulus = stimulus or NaturalStimulus()
+        self.program = list(program)
+        self.memory = MainMemory()
+        self.memory.load_program(
+            self.config.text_base, [ins.encode() for ins in self.program]
+        )
+        self.memctrl = MemoryController(self.memory, latency=self.config.mem_latency)
+        self.icache = ICache(self.memory, self.memctrl, num_sets=self.config.icache_sets)
+        self.dcache = DCache(self.memory, self.memctrl, num_sets=self.config.dcache_sets)
+        self.regfile = RegisterFile()
+        self.inbox = Inbox(inbox_tasks)
+        self.outbox = Outbox()
+
+        self.pc = 0
+        self.cycle = 0
+        self.retired = 0
+        self.rd_bundle: Optional[Bundle] = None
+        self.ex_bundle: Optional[Bundle] = None
+        self.mem_bundle: Optional[Bundle] = None
+        self.wb_bundle: Optional[Bundle] = None
+
+        # Stall bookkeeping (control signals + statistics).
+        self.external_stall = False   # switch/send waiting on Inbox/Outbox
+        self._external_stall_prev = False
+        self.stall_cycles: Dict[str, int] = {
+            "istall": 0, "dstall": 0, "conflict": 0, "external": 0,
+            "raw": 0, "structural": 0,
+        }
+        self._conflict_drained_this_cycle = False
+
+        # In-flight refill ownership: (pc, addr) of the load/store whose
+        # miss started the current D-refill.
+        self._load_wait: Optional[Tuple[int, int]] = None
+        self._store_wait: Optional[Tuple[int, int]] = None
+        self._branch_pending = False
+
+        # Bug state.
+        self._bugs = self.config.bugs
+        self._bug5_watch: Optional[Dict] = None
+        self._bug4_drop_fetch = False
+        self._bug1_foreign_words: Optional[List[int]] = None
+
+        self._trace_enabled = trace
+        self.events: List[TraceEvent] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _bug(self, bug_id: int) -> bool:
+        return bug_id in self._bugs
+
+    def _trace(self, name: str, detail: str = "") -> None:
+        if self._trace_enabled:
+            self.events.append(TraceEvent(self.cycle, name, detail))
+
+    @property
+    def istall(self) -> bool:
+        return self.icache.stalling
+
+    @property
+    def halted(self) -> bool:
+        return (
+            self.pc >= len(self.program)
+            and self.rd_bundle is None
+            and self.ex_bundle is None
+            and self.mem_bundle is None
+            and self.wb_bundle is None
+            and not self.icache.stalling
+            and not self.dcache.busy
+            and self.dcache.pending_store is None
+            and not self.memctrl.busy
+        )
+
+    # -- top-level run loop -----------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole machine one clock cycle."""
+        self._conflict_drained_this_cycle = False
+
+        # Unit clocks first: refill FSMs issue requests, the memory
+        # controller makes progress and returns word deliveries.
+        self.icache.tick()
+        self.dcache.tick()
+        self.memctrl.pace_override = self.stimulus.mem_pace() if self.memctrl.busy else None
+        deliveries = self.memctrl.tick()
+        d_critical: Optional[int] = None
+        d_fill_done = False
+        for delivery in deliveries:
+            if delivery.requester is Requester.ICACHE:
+                self.icache.accept(delivery)
+                if delivery.is_last and self._bug1_foreign_words is not None:
+                    # Bug #1: the unqualified interface signal already let a
+                    # D-side transfer clobber the I-line buffer; the wrong
+                    # words are installed.
+                    self.icache.corrupt_line_buffer(self._bug1_foreign_words)
+                    self._trace("bug1_corrupt_iline")
+                    self._bug1_foreign_words = None
+            elif delivery.requester in (Requester.DCACHE, Requester.SPILL_WB):
+                if (
+                    self._bug(1)
+                    and delivery.requester is Requester.DCACHE
+                    and self.icache.state in (IRefillState.REQ, IRefillState.FILL)
+                ):
+                    foreign = self._bug1_foreign_words or [0] * LINE_WORDS
+                    foreign[delivery.word_offset] = delivery.value
+                    self._bug1_foreign_words = foreign
+                value = self.dcache.accept(delivery)
+                if value is not None:
+                    d_critical = value
+                if delivery.requester is Requester.DCACHE and delivery.is_last:
+                    d_fill_done = True
+
+        # Bug #5 window: external stalls during the rest-of-line fill decide
+        # whether the corrective Membus rewrite happens.
+        if self._bug5_watch is not None and self._external_stall_prev:
+            self._bug5_watch["stall_seen"] = True
+            self._trace("bug5_stall_in_window")
+
+        self._stage_wb()
+        self._stage_mem(d_critical)
+        if self._bug5_watch is not None and d_fill_done:
+            self._finish_bug5_window()
+        self._stage_ex()
+        self._stage_rd()
+        self._stage_if()
+
+        self._external_stall_prev = self.external_stall
+        if self.istall:
+            self.stall_cycles["istall"] += 1
+        self.cycle += 1
+
+    def run(self, max_cycles: int = 200_000) -> None:
+        """Run until the program drains; raises on suspected deadlock."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"PP did not halt within {max_cycles} cycles "
+                    f"(pc={self.pc}, stalls={self.stall_cycles})"
+                )
+            self.step()
+
+    # -- WB stage ---------------------------------------------------------------
+
+    def _stage_wb(self) -> None:
+        if self.wb_bundle is None:
+            return
+        for uop in self.wb_bundle:
+            if uop.writes_reg is not None and uop.result is not None:
+                self.regfile.write(uop.writes_reg, uop.result)
+                self._trace("reg_write", f"r{uop.writes_reg}={uop.result:#010x}")
+            self.retired += 1
+        self.wb_bundle = None
+
+    # -- MEM stage -----------------------------------------------------------------
+
+    def _stage_mem(self, d_critical: Optional[int]) -> None:
+        self.external_stall = False
+        if self.mem_bundle is None:
+            self._drain_store_if_idle()
+            return
+        lead = self.mem_bundle[0]
+        done = False
+        if lead.klass is InstructionClass.LD:
+            done = self._mem_load(lead, d_critical)
+        elif lead.klass is InstructionClass.SD:
+            done = self._mem_store(lead)
+        elif lead.klass is InstructionClass.SWITCH:
+            done = self._mem_switch(lead)
+        elif lead.klass is InstructionClass.SEND:
+            done = self._mem_send(lead)
+        else:
+            done = True  # ALU / branch bundles spend one cycle here
+            self._drain_store_if_idle()
+        if done:
+            self.wb_bundle = self.mem_bundle
+            self.mem_bundle = None
+
+    def _drain_store_if_idle(self) -> None:
+        """The split store's data-write happens on a cache-idle cycle."""
+        if (
+            self.dcache.pending_store is not None
+            and self.dcache.refill_state is DRefillState.IDLE
+            and not self._conflict_drained_this_cycle
+        ):
+            self.dcache.drain_pending_store()
+            self._trace("store_drain")
+
+    def _mem_load(self, uop: MicroOp, d_critical: Optional[int]) -> bool:
+        # A refill for this load is already in flight: wait for the
+        # critical word (critical-word-first restart).
+        if self._load_wait == (uop.pc, uop.addr):
+            if d_critical is not None:
+                self._load_wait = None
+                return self._load_restart(uop, d_critical)
+            self.stall_cycles["dstall"] += 1
+            return False
+        # Conflict stall: load to the pending store's line must wait for
+        # the store's data write.
+        if self.dcache.conflicts_with_pending(uop.addr):
+            return self._conflict_stall_load(uop)
+        # The previous refill's tail or write-back still owns the arrays.
+        if self.dcache.busy:
+            self.stall_cycles["structural"] += 1
+            return False
+        hit = self.dcache.probe(uop.addr, self.stimulus.dcache_hit())
+        if hit:
+            uop.result = self.dcache.read_hit(uop.addr)
+            self._trace("load_hit", f"addr={uop.addr:#x}")
+            return True
+        # Miss: drain any pending store first so the victim spill cannot
+        # overtake it, then start the fill-before-spill refill.
+        self.dcache.drain_pending_store()
+        self.dcache.start_refill(
+            uop.addr, for_store=False, force_dirty_victim=self.stimulus.victim_dirty()
+        )
+        self._load_wait = (uop.pc, uop.addr)
+        self._trace("load_miss", f"addr={uop.addr:#x}")
+        self.stall_cycles["dstall"] += 1
+        return False
+
+    def _load_restart(self, uop: MicroOp, value: int) -> bool:
+        """Critical word arrived: restart the stalled load."""
+        self._trace("membus_drive", f"data={value:#010x}")
+        if self._bug(2) and self.istall:
+            # Bug #2: the return-data latch is not qualified on I-Stall; by
+            # the time the I-miss is serviced the data is gone.
+            value = LOST_DATA
+            self._trace("bug2_latch_lost")
+        uop.result = value
+        if self._bug(5) and self._follower_load_store_present():
+            # Bug #5: a following load/store glitches Membus-valid after the
+            # critical word; the corrective rewrite happens at fill end
+            # unless an external stall lands in the window.
+            self._trace("membus_glitch")
+            self._bug5_watch = {
+                "reg": uop.writes_reg,
+                "good": value,
+                "stall_seen": False,
+            }
+        return True
+
+    def _follower_load_store_present(self) -> bool:
+        for bundle in (self.ex_bundle, self.rd_bundle):
+            if bundle and any(u.is_mem for u in bundle):
+                return True
+        return False
+
+    def _finish_bug5_window(self) -> None:
+        watch = self._bug5_watch
+        self._bug5_watch = None
+        if watch is None or watch["reg"] is None:
+            return
+        if watch["stall_seen"] or self.external_stall:
+            # The external stall suppressed the second Membus drive: the
+            # glitch-latched garbage stays in the register file.
+            self.regfile.write(watch["reg"], GARBAGE_Z)
+            self._trace("bug5_garbage_latched", f"r{watch['reg']}")
+        else:
+            # Data rewritten, glitch masked (Fig. 2.2): the register ends
+            # up holding the same value, so nothing architectural happens --
+            # only a performance bug, invisible to result comparison.
+            self._trace("membus_redrive_masked")
+
+    def _conflict_stall_load(self, uop: MicroOp) -> bool:
+        self.stall_cycles["conflict"] += 1
+        self._conflict_drained_this_cycle = True
+        self._trace("conflict_stall", f"addr={uop.addr:#x}")
+        if self._bug(3):
+            follower = self._follower_mem_addr()
+            if follower is not None:
+                # Bug #3: the stalled load's address register is not held
+                # during the conflict stall; the follower's address wins.
+                uop.addr = follower
+                self._trace("bug3_addr_clobbered", f"addr={follower:#x}")
+        if self._bug(6) and self.istall:
+            # Bug #6: with a simultaneous I-stall the load reads the stale
+            # word instead of waiting for the store's data write.
+            stale = self.dcache.read_hit(uop.addr)
+            self.dcache.drain_pending_store()
+            uop.result = stale
+            self._trace("bug6_stale_load", f"addr={uop.addr:#x}")
+            return True
+        self.dcache.drain_pending_store()
+        return False  # the load retries (and normally hits) next cycle
+
+    def _follower_mem_addr(self) -> Optional[int]:
+        if self.ex_bundle:
+            for u in self.ex_bundle:
+                if u.is_mem:
+                    # EX computes the address this cycle; mirror it here.
+                    return (u.src1 + u.instr.imm) & WORD_MASK
+        return None
+
+    def _mem_store(self, uop: MicroOp) -> bool:
+        # A refill this store's own miss started: wait for the line, then
+        # post the (split) store's data write.
+        if self._store_wait == (uop.pc, uop.addr):
+            if self.dcache.refill_state is DRefillState.IDLE:
+                self._store_wait = None
+                self.dcache.post_store(uop.addr, uop.store_val)
+                self._trace("store_posted_after_refill", f"addr={uop.addr:#x}")
+                return True
+            self.stall_cycles["dstall"] += 1
+            return False
+        # Second store while one is pending: conflict stall to drain.
+        if self.dcache.pending_store is not None:
+            self.stall_cycles["conflict"] += 1
+            self._conflict_drained_this_cycle = True
+            self.dcache.drain_pending_store()
+            self._trace("conflict_stall_store")
+            return False
+        # Someone else's refill tail or write-back owns the arrays.
+        if self.dcache.busy:
+            self.stall_cycles["structural"] += 1
+            return False
+        hit = self.dcache.probe(uop.addr, self.stimulus.dcache_hit())
+        if hit:
+            # Split store: tag probe now, data write on a later idle cycle.
+            self.dcache.post_store(uop.addr, uop.store_val)
+            self._trace("store_probe_hit", f"addr={uop.addr:#x}")
+            return True
+        self.dcache.start_refill(
+            uop.addr, for_store=True, force_dirty_victim=self.stimulus.victim_dirty()
+        )
+        self._store_wait = (uop.pc, uop.addr)
+        self._trace("store_miss", f"addr={uop.addr:#x}")
+        self.stall_cycles["dstall"] += 1
+        return False
+
+    def _mem_switch(self, uop: MicroOp) -> bool:
+        forced = self.stimulus.inbox_ready()
+        self.inbox.ready_override = forced
+        if self.inbox.ready():
+            uop.result = self.inbox.take_task()
+            self._trace("switch_taken", f"task={uop.result:#x}")
+            return True
+        self.external_stall = True
+        self.stall_cycles["external"] += 1
+        self._trace("external_stall", "inbox")
+        return False
+
+    def _mem_send(self, uop: MicroOp) -> bool:
+        forced = self.stimulus.outbox_ready()
+        self.outbox.ready_override = forced
+        if self.outbox.ready():
+            self.outbox.accept(uop.store_val)
+            self._trace("send_accepted", f"word={uop.store_val:#x}")
+            return True
+        self.external_stall = True
+        self.stall_cycles["external"] += 1
+        self._trace("external_stall", "outbox")
+        return False
+
+    # -- EX stage ---------------------------------------------------------------
+
+    def _stage_ex(self) -> None:
+        if self.ex_bundle is None or self.mem_bundle is not None:
+            return
+        for uop in self.ex_bundle:
+            self._execute(uop)
+        branch = next((u for u in self.ex_bundle if u.is_branch), None)
+        if branch is not None:
+            self._resolve_branch(branch)
+        self.mem_bundle = self.ex_bundle
+        self.ex_bundle = None
+
+    def _execute(self, uop: MicroOp) -> None:
+        ins = uop.instr
+        op = ins.opcode
+        a, b = uop.src1, uop.src2
+        if uop.is_mem:
+            uop.addr = (a + ins.imm) & WORD_MASK
+            return
+        if op is Opcode.NOP or uop.klass in (
+            InstructionClass.SWITCH, InstructionClass.SEND
+        ) or uop.is_branch:
+            return
+        if op is Opcode.ADD:
+            uop.result = (a + b) & WORD_MASK
+        elif op is Opcode.SUB:
+            uop.result = (a - b) & WORD_MASK
+        elif op is Opcode.AND:
+            uop.result = a & b
+        elif op is Opcode.OR:
+            uop.result = a | b
+        elif op is Opcode.XOR:
+            uop.result = a ^ b
+        elif op is Opcode.SLL:
+            uop.result = (a << (b & 31)) & WORD_MASK
+        elif op is Opcode.SRL:
+            uop.result = (a & WORD_MASK) >> (b & 31)
+        elif op is Opcode.SLT:
+            uop.result = int(_signed(a) < _signed(b))
+        elif op is Opcode.ADDI:
+            uop.result = (a + ins.imm) & WORD_MASK
+        elif op is Opcode.ANDI:
+            uop.result = a & (ins.imm & 0xFFFF)
+        elif op is Opcode.ORI:
+            uop.result = a | (ins.imm & 0xFFFF)
+        elif op is Opcode.XORI:
+            uop.result = a ^ (ins.imm & 0xFFFF)
+        elif op is Opcode.LUI:
+            uop.result = ((ins.imm & 0xFFFF) << 16) & WORD_MASK
+        else:  # pragma: no cover - decode fallback yields NOP
+            uop.result = None
+
+    def _resolve_branch(self, uop: MicroOp) -> None:
+        ins = uop.instr
+        taken = False
+        target = 0
+        if ins.opcode is Opcode.BEQ:
+            taken = uop.src1 == uop.store_val
+            target = uop.pc + 1 + ins.imm
+        elif ins.opcode is Opcode.BNE:
+            taken = uop.src1 != uop.store_val
+            target = uop.pc + 1 + ins.imm
+        elif ins.opcode is Opcode.J:
+            taken = True
+            target = ins.imm
+        if taken:
+            self.pc = target
+            self._trace("branch_taken", f"target={target}")
+            if self.config.squashing_branches and self.rd_bundle is not None:
+                # Squash the fall-through instructions fetched behind the
+                # branch; fetch resumes from the target this same cycle.
+                self._trace(
+                    "branch_squash", f"pc={self.rd_bundle[0].pc} x{len(self.rd_bundle)}"
+                )
+                self.rd_bundle = None
+        self._branch_pending = False
+
+    # -- RD stage -------------------------------------------------------------
+
+    def _stage_rd(self) -> None:
+        if self.rd_bundle is None or self.ex_bundle is not None:
+            return
+        if self._raw_hazard(self.rd_bundle):
+            self.stall_cycles["raw"] += 1
+            return
+        for uop in self.rd_bundle:
+            self._read_operands(uop)
+        self.ex_bundle = self.rd_bundle
+        self.rd_bundle = None
+
+    def _raw_hazard(self, bundle: Bundle) -> bool:
+        pending: set = set()
+        for other in (self.ex_bundle, self.mem_bundle, self.wb_bundle):
+            if other:
+                pending.update(
+                    u.writes_reg for u in other if u.writes_reg is not None
+                )
+        pending.discard(0)
+        for uop in bundle:
+            if any(src in pending for src in self._sources(uop.instr)):
+                return True
+        return False
+
+    @staticmethod
+    def _sources(ins: Instruction) -> Tuple[int, ...]:
+        klass = ins.klass
+        op = ins.opcode
+        if op is Opcode.NOP or op is Opcode.LUI or op is Opcode.J:
+            return ()
+        if klass is InstructionClass.SWITCH:
+            return ()
+        if klass is InstructionClass.SEND:
+            return (ins.rd,)
+        if klass is InstructionClass.SD:
+            return (ins.rs, ins.rd)
+        if op in (Opcode.BEQ, Opcode.BNE):
+            return (ins.rs, ins.rd)
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+                  Opcode.SLL, Opcode.SRL, Opcode.SLT):
+            return (ins.rs, ins.rt)
+        return (ins.rs,)
+
+    def _read_operands(self, uop: MicroOp) -> None:
+        ins = uop.instr
+        uop.src1 = self.regfile.read(ins.rs)
+        uop.src2 = self.regfile.read(ins.rt)
+        uop.store_val = self.regfile.read(ins.rd)
+        uop.writes_reg = self._dest(ins)
+
+    @staticmethod
+    def _dest(ins: Instruction) -> Optional[int]:
+        klass = ins.klass
+        if ins.opcode is Opcode.NOP or ins.is_nop():
+            return None
+        if klass in (InstructionClass.SD, InstructionClass.SEND):
+            return None
+        if ins.opcode in BRANCH_OPCODES:
+            return None
+        return ins.rd
+
+    # -- IF stage ---------------------------------------------------------------
+
+    def _stage_if(self) -> None:
+        if self.icache.state is IRefillState.FIXUP:
+            # The fix-up cycle restores the instruction registers.
+            self.icache.finish_fixup()
+            if self._bug(4) and self.external_stall:
+                # Bug #4: the fix-up is not qualified on MemStall; the
+                # restored fetch is lost.
+                self._bug4_drop_fetch = True
+                self._trace("bug4_fixup_lost")
+            return
+        if self.icache.stalling:
+            return
+        if self.rd_bundle is not None:
+            return
+        if self._branch_pending:
+            return  # no speculation: wait for the branch to resolve
+        if self.pc >= len(self.program):
+            return
+        address = self.config.text_base + 4 * self.pc
+        force = self.stimulus.fetch_hit()
+        word = self.icache.lookup(address, force)
+        if word is None:
+            self.icache.begin_refill(address)
+            self._trace("istall", f"pc={self.pc}")
+            return
+        first = _decode_or_nop(word)
+        bundle = [MicroOp(first, self.pc)]
+        self.pc += 1
+        if self._can_pair(first, address):
+            second_addr = self.config.text_base + 4 * self.pc
+            second_word = self.icache.lookup(second_addr, True)
+            second = _decode_or_nop(second_word if second_word is not None else 0)
+            if self._pair_ok(first, second):
+                bundle.append(MicroOp(second, self.pc))
+                self.pc += 1
+        if self._bug4_drop_fetch:
+            # The lost fix-up dropped these instruction registers.
+            self._bug4_drop_fetch = False
+            self._trace("bug4_instrs_dropped", f"pc={bundle[0].pc}")
+            return
+        if any(u.is_branch for u in bundle) and not self.config.squashing_branches:
+            self._branch_pending = True
+        self.rd_bundle = bundle
+        self._trace("fetch", f"pc={bundle[0].pc} x{len(bundle)}")
+
+    def _can_pair(self, first: Instruction, address: int) -> bool:
+        if not self.config.dual_issue:
+            return False
+        if self.pc >= len(self.program):
+            return False
+        if first.opcode in BRANCH_OPCODES:
+            return False
+        next_address = address + 4
+        return line_base(next_address) == line_base(address)
+
+    @staticmethod
+    def _pair_ok(first: Instruction, second: Instruction) -> bool:
+        """Static dual-issue pairing: slot B must be a non-branch ALU op,
+        independent of slot A."""
+        if second.klass is not InstructionClass.ALU:
+            return False
+        if second.opcode in BRANCH_OPCODES:
+            return False
+        first_dest = PPCore._dest(first)
+        if first_dest is not None and first_dest != 0:
+            if first_dest in PPCore._sources(second):
+                return False
+            second_dest = PPCore._dest(second)
+            if second_dest == first_dest:
+                return False
+        return True
+
+    # -- architectural extraction ---------------------------------------------------
+
+    def architectural_state(self):
+        """Registers + flushed memory + outbox, for spec comparison.
+
+        Only data addresses below ``text_base`` are included (the program
+        text is not architectural data)."""
+        from repro.pp.spec import ArchState
+
+        self.dcache.flush_all()
+        memory = {
+            a: v
+            for a, v in self.memory.as_dict().items()
+            if a < self.config.text_base
+        }
+        return ArchState(
+            regs=self.regfile.snapshot(),
+            memory=memory,
+            outbox=list(self.outbox.messages),
+            pc=self.pc,
+            instructions_retired=self.retired,
+        )
+
+
+def _decode_or_nop(word: int) -> Instruction:
+    """Hardware decodes whatever bits arrive; unknown encodings execute as
+    no-ops (there are no illegal-instruction exceptions in the PP)."""
+    try:
+        return Instruction.decode(word)
+    except ValueError:
+        return Instruction(Opcode.NOP)
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value >= (1 << 31) else value

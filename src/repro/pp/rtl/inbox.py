@@ -1,0 +1,57 @@
+"""The MAGIC Inbox: the unit that hands the PP its next protocol task.
+
+A ``switch`` instruction reads the next task word from the Inbox.  If the
+Inbox is not ready when the ``switch`` reaches execution, the PP stalls
+(an *external* stall -- the asynchronous kind that makes Bug #5's window
+of opportunity so improbable in random testing).
+
+``ready_override`` is the force/release hook: when set, it replaces the
+unit's own readiness for that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.pp.isa import WORD_MASK
+
+
+class Inbox:
+    def __init__(self, tasks: Optional[Iterable[int]] = None):
+        self._tasks: List[int] = [t & WORD_MASK for t in (tasks or [])]
+        self._cursor = 0
+        #: Per-cycle forced readiness (None = use natural readiness).
+        self.ready_override: Optional[bool] = None
+
+    @property
+    def natural_ready(self) -> bool:
+        """The unit's own readiness.
+
+        The software queue head always supplies at least the idle task, so
+        the unforced Inbox is always ready; not-ready cycles come from the
+        vector harness (or an explicit override), never from running out of
+        queued tasks -- otherwise an exhausted queue would deadlock the PP.
+        """
+        return True
+
+    def ready(self) -> bool:
+        if self.ready_override is not None:
+            return self.ready_override
+        return self.natural_ready
+
+    def take_task(self) -> int:
+        """Pop the next task word (architecturally: what ``switch`` returns).
+
+        Returns the idle-task word 0 when the queue is empty, matching the
+        specification simulator's convention so forced-ready cycles stay
+        architecturally comparable.
+        """
+        if self._cursor < len(self._tasks):
+            word = self._tasks[self._cursor]
+            self._cursor += 1
+            return word
+        return 0
+
+    @property
+    def tasks_taken(self) -> int:
+        return self._cursor

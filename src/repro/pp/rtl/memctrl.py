@@ -1,0 +1,168 @@
+"""The on-chip memory controller: one shared port to main memory.
+
+Both cache refill machines and the spill-buffer write-back share this
+single port, which is the structural interlock the paper credits for
+keeping the control state space manageable: once a data-cache refill
+starts, the instruction-cache refill machine must wait.
+
+Timing model: a granted line-read request waits ``latency`` cycles for the
+first word, then delivers one word per cycle.  Data-cache reads deliver
+critical-word-first.  Per-cycle delivery can be paused by the vector
+harness via ``pace_override`` (the abstract model's nondeterministic
+"memory not done yet" choice).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.pp.rtl.memory import LINE_WORDS, MainMemory, line_base
+
+
+class Requester(enum.Enum):
+    """Who owns the memory port."""
+
+    ICACHE = "ICACHE"
+    DCACHE = "DCACHE"
+    SPILL_WB = "SPILL_WB"
+
+
+@dataclass
+class MemRequest:
+    """One line-granularity transaction."""
+
+    requester: Requester
+    address: int
+    write_words: Optional[List[int]] = None  # None for reads
+    critical_first: bool = False
+
+
+@dataclass(frozen=True)
+class WordDelivery:
+    """One word handed back to a requester this cycle."""
+
+    requester: Requester
+    line_address: int
+    word_index: int  # index in delivery order (0 = first/critical word)
+    word_offset: int  # index of the word within its line
+    value: int
+    is_last: bool
+
+
+class MemoryController:
+    """Single-ported, in-order memory controller with D-cache priority."""
+
+    def __init__(self, memory: MainMemory, latency: int = 2):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.memory = memory
+        self.latency = latency
+        self._queue: List[MemRequest] = []
+        self._current: Optional[MemRequest] = None
+        self._countdown = 0
+        self._words: List[Tuple[int, int]] = []  # (word_offset, value) in order
+        self._delivered = 0
+        #: When set to False for a cycle, no word is delivered (vector pacing).
+        self.pace_override: Optional[bool] = None
+        #: Total transactions completed (for stats / tests).
+        self.transactions_completed = 0
+
+    # -- request side ----------------------------------------------------------
+
+    def request(self, req: MemRequest) -> None:
+        """Enqueue a transaction; D-cache requests jump ahead of I-cache
+        requests still waiting in the queue (but never preempt a granted
+        transaction)."""
+        if req.requester is Requester.DCACHE:
+            insert_at = 0
+            while insert_at < len(self._queue) and (
+                self._queue[insert_at].requester is Requester.DCACHE
+            ):
+                insert_at += 1
+            self._queue.insert(insert_at, req)
+        else:
+            self._queue.append(req)
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None or bool(self._queue)
+
+    @property
+    def owner(self) -> Optional[Requester]:
+        return self._current.requester if self._current else None
+
+    def serving(self, requester: Requester) -> bool:
+        return self._current is not None and self._current.requester is requester
+
+    # -- clock ----------------------------------------------------------------
+
+    def tick(self) -> List[WordDelivery]:
+        """Advance one cycle; return any word deliveries for this cycle."""
+        deliveries: List[WordDelivery] = []
+        if self._current is None and self._queue:
+            self._grant(self._queue.pop(0))
+            return deliveries  # grant cycle itself delivers nothing
+        if self._current is None:
+            return deliveries
+        if self.pace_override is False:
+            return deliveries  # harness held the memory system this cycle
+        if self._countdown > 0:
+            self._countdown -= 1
+            return deliveries
+        if self._current.write_words is not None:
+            # Line write (spill-buffer write-back) completes as a unit once
+            # the latency has elapsed.
+            self.memory.write_line(self._current.address, self._current.write_words)
+            deliveries.append(
+                WordDelivery(
+                    requester=self._current.requester,
+                    line_address=line_base(self._current.address),
+                    word_index=0,
+                    word_offset=0,
+                    value=0,
+                    is_last=True,
+                )
+            )
+            self._finish()
+            return deliveries
+        word_offset, value = self._words[self._delivered]
+        is_last = self._delivered == LINE_WORDS - 1
+        deliveries.append(
+            WordDelivery(
+                requester=self._current.requester,
+                line_address=line_base(self._current.address),
+                word_index=self._delivered,
+                word_offset=word_offset,
+                value=value,
+                is_last=is_last,
+            )
+        )
+        self._delivered += 1
+        if is_last:
+            self._finish()
+        return deliveries
+
+    def _grant(self, req: MemRequest) -> None:
+        self._current = req
+        self._countdown = self.latency
+        self._delivered = 0
+        if req.write_words is None:
+            base = line_base(req.address)
+            if req.critical_first:
+                critical = (req.address >> 2) % LINE_WORDS
+                order = [(critical + i) % LINE_WORDS for i in range(LINE_WORDS)]
+            else:
+                order = list(range(LINE_WORDS))
+            self._words = [
+                (offset, self.memory.read_word(base + 4 * offset)) for offset in order
+            ]
+        else:
+            self._words = []
+
+    def _finish(self) -> None:
+        self._current = None
+        self._words = []
+        self._delivered = 0
+        self.transactions_completed += 1

@@ -1,0 +1,32 @@
+"""The MAGIC Outbox: where the PP sends completed protocol tasks.
+
+A ``send`` instruction pushes a word to the Outbox.  If the Outbox is not
+ready to accept it, the PP stalls when the ``send`` reaches execution
+(section 2 of the paper uses exactly this example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.pp.isa import WORD_MASK
+
+
+class Outbox:
+    def __init__(self, capacity: Optional[int] = None):
+        self.messages: List[int] = []
+        self.capacity = capacity
+        #: Per-cycle forced readiness (None = use natural readiness).
+        self.ready_override: Optional[bool] = None
+
+    @property
+    def natural_ready(self) -> bool:
+        return self.capacity is None or len(self.messages) < self.capacity
+
+    def ready(self) -> bool:
+        if self.ready_override is not None:
+            return self.ready_override
+        return self.natural_ready
+
+    def accept(self, word: int) -> None:
+        self.messages.append(word & WORD_MASK)

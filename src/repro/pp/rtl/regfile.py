@@ -1,0 +1,35 @@
+"""The PP register file: 32 general registers, r0 hardwired to zero."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pp.isa import NUM_REGS, WORD_MASK
+
+
+class RegisterFile:
+    """Simple synchronous register file with write-port logging.
+
+    The log of (register, value) writes is how the Bug #5 experiment
+    observes the corrupted-register symptom at the exact cycle it lands.
+    """
+
+    def __init__(self):
+        self._regs: List[int] = [0] * NUM_REGS
+        self.write_log: List[tuple] = []
+
+    def read(self, index: int) -> int:
+        if index == 0:
+            return 0
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if index == 0:
+            return  # writes to r0 are discarded
+        self._regs[index] = value & WORD_MASK
+        self.write_log.append((index, value & WORD_MASK))
+
+    def snapshot(self) -> List[int]:
+        regs = list(self._regs)
+        regs[0] = 0
+        return regs

@@ -1,0 +1,230 @@
+"""Instruction-level executable specification of the PP.
+
+This is the "golden" simulator of Fig. 3.1: it defines architectural
+behaviour only -- no pipeline, no caches, no stalls.  The comparison
+framework runs the RTL implementation and this specification on the same
+instruction stream and flags any data-value difference (register file,
+memory, Outbox stream).
+
+Deliberately written in a different style and structure from the RTL model
+to avoid the correlated-errors trap the paper warns about (section 4): the
+two models share only the ISA definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.pp.isa import Instruction, NUM_REGS, Opcode, WORD_MASK
+
+
+@dataclass
+class ArchState:
+    """Architecturally visible state: registers, memory, Outbox stream."""
+
+    regs: List[int] = field(default_factory=lambda: [0] * NUM_REGS)
+    memory: Dict[int, int] = field(default_factory=dict)
+    outbox: List[int] = field(default_factory=list)
+    pc: int = 0
+    instructions_retired: int = 0
+
+    def read_mem(self, address: int) -> int:
+        return self.memory.get(address & ~0x3 & WORD_MASK, 0)
+
+    def write_mem(self, address: int, value: int) -> None:
+        self.memory[address & ~0x3 & WORD_MASK] = value & WORD_MASK
+
+    def snapshot(self) -> "ArchState":
+        return ArchState(
+            regs=list(self.regs),
+            memory=dict(self.memory),
+            outbox=list(self.outbox),
+            pc=self.pc,
+            instructions_retired=self.instructions_retired,
+        )
+
+    def differences(self, other: "ArchState") -> List[str]:
+        """Human-readable list of architectural mismatches vs ``other``."""
+        diffs = []
+        for i, (a, b) in enumerate(zip(self.regs, other.regs)):
+            if a != b:
+                diffs.append(f"r{i}: {a:#010x} != {b:#010x}")
+        addresses = sorted(set(self.memory) | set(other.memory))
+        for addr in addresses:
+            a = self.memory.get(addr, 0)
+            b = other.memory.get(addr, 0)
+            if a != b:
+                diffs.append(f"mem[{addr:#010x}]: {a:#010x} != {b:#010x}")
+        if self.outbox != other.outbox:
+            diffs.append(f"outbox: {self.outbox} != {other.outbox}")
+        return diffs
+
+
+class SpecSimulator:
+    """Executes PP instructions one at a time, architecturally.
+
+    ``inbox`` supplies the task words returned by ``switch``; when
+    exhausted, ``switch`` returns zero (matching the RTL model's idle-task
+    convention so the two models stay comparable).
+    """
+
+    def __init__(self, inbox: Optional[Iterable[int]] = None):
+        self.state = ArchState()
+        self._inbox: List[int] = list(inbox or [])
+        self._inbox_cursor = 0
+        #: (register, value) in retirement order -- the golden write stream
+        #: the comparison framework checks the RTL's write port against.
+        self.write_log: List[tuple] = []
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, instruction: Instruction) -> None:
+        """Execute one instruction and retire it."""
+        handler = self._HANDLERS.get(instruction.opcode)
+        if handler is None:
+            raise ValueError(f"spec cannot execute {instruction!r}")
+        handler(self, instruction)
+        self.state.regs[0] = 0  # r0 is hardwired to zero
+        if instruction.rd != 0 and self._writes_register(instruction):
+            self.write_log.append((instruction.rd, self.state.regs[instruction.rd]))
+        self.state.instructions_retired += 1
+
+    @staticmethod
+    def _writes_register(instruction: Instruction) -> bool:
+        return instruction.opcode not in (
+            Opcode.NOP, Opcode.SW, Opcode.SEND, Opcode.BEQ, Opcode.BNE, Opcode.J
+        )
+
+    def run(self, program: Sequence[Instruction]) -> ArchState:
+        """Execute ``program`` in order (straight-line; no branch targets)."""
+        for instruction in program:
+            self.execute(instruction)
+        return self.state
+
+    def run_with_control_flow(
+        self, program: Sequence[Instruction], max_instructions: int = 100_000
+    ) -> ArchState:
+        """Execute ``program`` honouring branches/jumps, from pc=0 until the
+        pc falls off the end or ``max_instructions`` retire."""
+        state = self.state
+        state.pc = 0
+        while 0 <= state.pc < len(program):
+            if state.instructions_retired >= max_instructions:
+                raise RuntimeError("instruction budget exhausted (runaway loop?)")
+            instruction = program[state.pc]
+            taken_target = self._branch_target(instruction)
+            self.execute(instruction)
+            if taken_target is not None:
+                state.pc = taken_target
+            else:
+                state.pc += 1
+        return state
+
+    def _branch_target(self, instruction: Instruction) -> Optional[int]:
+        op = instruction.opcode
+        regs = self.state.regs
+        if op is Opcode.BEQ and regs[instruction.rs] == regs[instruction.rd]:
+            return self.state.pc + 1 + instruction.imm
+        if op is Opcode.BNE and regs[instruction.rs] != regs[instruction.rd]:
+            return self.state.pc + 1 + instruction.imm
+        if op is Opcode.J:
+            return instruction.imm
+        return None
+
+    # -- per-opcode semantics -----------------------------------------------
+
+    def _nop(self, ins: Instruction) -> None:
+        pass
+
+    def _alu_rr(self, ins: Instruction) -> None:
+        a = self.state.regs[ins.rs]
+        b = self.state.regs[ins.rt]
+        op = ins.opcode
+        if op is Opcode.ADD:
+            result = a + b
+        elif op is Opcode.SUB:
+            result = a - b
+        elif op is Opcode.AND:
+            result = a & b
+        elif op is Opcode.OR:
+            result = a | b
+        elif op is Opcode.XOR:
+            result = a ^ b
+        elif op is Opcode.SLL:
+            result = a << (b & 31)
+        elif op is Opcode.SRL:
+            result = (a & WORD_MASK) >> (b & 31)
+        elif op is Opcode.SLT:
+            result = int(_signed(a) < _signed(b))
+        else:  # pragma: no cover - dispatch table prevents this
+            raise AssertionError(op)
+        self.state.regs[ins.rd] = result & WORD_MASK
+
+    def _alu_imm(self, ins: Instruction) -> None:
+        a = self.state.regs[ins.rs]
+        op = ins.opcode
+        if op is Opcode.ADDI:
+            result = a + ins.imm
+        elif op is Opcode.ANDI:
+            result = a & (ins.imm & 0xFFFF)
+        elif op is Opcode.ORI:
+            result = a | (ins.imm & 0xFFFF)
+        elif op is Opcode.XORI:
+            result = a ^ (ins.imm & 0xFFFF)
+        elif op is Opcode.LUI:
+            result = (ins.imm & 0xFFFF) << 16
+        else:  # pragma: no cover
+            raise AssertionError(op)
+        self.state.regs[ins.rd] = result & WORD_MASK
+
+    def _lw(self, ins: Instruction) -> None:
+        address = (self.state.regs[ins.rs] + ins.imm) & WORD_MASK
+        self.state.regs[ins.rd] = self.state.read_mem(address)
+
+    def _sw(self, ins: Instruction) -> None:
+        address = (self.state.regs[ins.rs] + ins.imm) & WORD_MASK
+        self.state.write_mem(address, self.state.regs[ins.rd])
+
+    def _switch(self, ins: Instruction) -> None:
+        if self._inbox_cursor < len(self._inbox):
+            word = self._inbox[self._inbox_cursor] & WORD_MASK
+            self._inbox_cursor += 1
+        else:
+            word = 0
+        self.state.regs[ins.rd] = word
+
+    def _send(self, ins: Instruction) -> None:
+        self.state.outbox.append(self.state.regs[ins.rd])
+
+    def _branch(self, ins: Instruction) -> None:
+        pass  # branch direction handled by run_with_control_flow
+
+    _HANDLERS = {
+        Opcode.NOP: _nop,
+        Opcode.ADD: _alu_rr,
+        Opcode.SUB: _alu_rr,
+        Opcode.AND: _alu_rr,
+        Opcode.OR: _alu_rr,
+        Opcode.XOR: _alu_rr,
+        Opcode.SLL: _alu_rr,
+        Opcode.SRL: _alu_rr,
+        Opcode.SLT: _alu_rr,
+        Opcode.ADDI: _alu_imm,
+        Opcode.ANDI: _alu_imm,
+        Opcode.ORI: _alu_imm,
+        Opcode.XORI: _alu_imm,
+        Opcode.LUI: _alu_imm,
+        Opcode.LW: _lw,
+        Opcode.SW: _sw,
+        Opcode.SWITCH: _switch,
+        Opcode.SEND: _send,
+        Opcode.BEQ: _branch,
+        Opcode.BNE: _branch,
+        Opcode.J: _branch,
+    }
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value >= (1 << 31) else value

@@ -1,0 +1,534 @@
+"""A textual Synchronous Murphi description language.
+
+The paper's enumerator consumes models written in Synchronous Murphi, a
+description language with explicit state variables, nondeterministic
+choices, and a synchronous transition rule.  This module provides a small
+faithful dialect so models can be written as text files (and so the HDL
+translator has a printable target format):
+
+.. code-block:: none
+
+    -- a two-entry request queue with a flaky consumer
+    type level : 0..2;
+    type op : enum { NONE, PUSH, POP };
+
+    var depth : level reset 0;
+    choice action : op;
+    choice consumer_ready : boolean when depth > 0;
+
+    rule begin
+      if action = PUSH & depth < 2 then
+        depth' := depth + 1;
+      elsif action = POP & depth > 0 & consumer_ready then
+        depth' := depth - 1;
+      endif;
+    end
+
+Semantics: every cycle the environment picks one value for each active
+choice; the single ``rule`` block computes primed next-state values;
+unassigned primed variables hold.  ``when`` guards on choices reference
+current-state variables only.  ``--`` starts a comment.
+
+Compile with :func:`parse_model`, which returns a ready-to-enumerate
+:class:`~repro.smurphi.model.SyncModel`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.smurphi.model import ChoicePoint, ModelError, StateVar, SyncModel
+from repro.smurphi.types import BoolType, EnumType, FiniteType, RangeType
+
+
+class MurphiSyntaxError(Exception):
+    """Raised on malformed model text, with line information."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+# ------------------------------------------------------------------ lexer
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<id>[A-Za-z_]\w*'?)|(?P<op>:=|<=|>=|!=|\.\.|[-+*:;{}(),=<>&|!]))"
+)
+
+_KEYWORDS = {
+    "type", "var", "choice", "rule", "begin", "end", "enum", "reset",
+    "when", "if", "then", "elsif", "else", "endif", "switch", "case",
+    "endswitch", "boolean", "true", "false", "inactive",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'num' | 'id' | 'kw' | 'op'
+    value: str
+    line: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        comment = raw.find("--")
+        code = raw[:comment] if comment >= 0 else raw
+        position = 0
+        while position < len(code):
+            if code[position].isspace():
+                position += 1
+                continue
+            match = _TOKEN_RE.match(code, position)
+            if not match or match.end() == position:
+                raise MurphiSyntaxError(
+                    f"unexpected character {code[position]!r}", line_no
+                )
+            if match.group("num"):
+                tokens.append(_Token("num", match.group("num"), line_no))
+            elif match.group("id"):
+                word = match.group("id")
+                kind = "kw" if word in _KEYWORDS else "id"
+                tokens.append(_Token(kind, word, line_no))
+            else:
+                tokens.append(_Token("op", match.group("op"), line_no))
+            position = match.end()
+    return tokens
+
+
+# ------------------------------------------------------------------ expressions
+
+
+@dataclass(frozen=True)
+class _Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class _Sym:
+    name: str  # enum literal or variable reference
+
+
+@dataclass(frozen=True)
+class _Un:
+    op: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class _Bin:
+    op: str
+    left: object
+    right: object
+
+
+# ------------------------------------------------------------------ statements
+
+
+@dataclass
+class _Assign:
+    target: str  # primed variable name without the prime
+    value: object
+    line: int
+
+
+@dataclass
+class _If:
+    arms: List[Tuple[object, List[object]]]  # (condition, body); None = else
+    line: int
+
+
+@dataclass
+class _Switch:
+    subject: object
+    cases: List[Tuple[Optional[List[object]], List[object]]]
+    line: int
+
+
+# ------------------------------------------------------------------ parser
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise MurphiSyntaxError("unexpected end of model")
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise MurphiSyntaxError(
+                f"expected {value or kind!r}, got {token.value!r}", token.line
+            )
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token and token.kind == kind and (value is None or token.value == value):
+            self._position += 1
+            return token
+        return None
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse_model(self, name: str) -> "_ModelSpec":
+        spec = _ModelSpec(name=name)
+        while self._peek() is not None:
+            token = self._peek()
+            if token.kind == "kw" and token.value == "type":
+                self._parse_type(spec)
+            elif token.kind == "kw" and token.value == "var":
+                self._parse_var(spec)
+            elif token.kind == "kw" and token.value == "choice":
+                self._parse_choice(spec)
+            elif token.kind == "kw" and token.value == "rule":
+                self._parse_rule(spec)
+            else:
+                raise MurphiSyntaxError(
+                    f"expected declaration, got {token.value!r}", token.line
+                )
+        if spec.rule is None:
+            raise MurphiSyntaxError("model has no rule block")
+        return spec
+
+    def _parse_type_expr(self, spec: "_ModelSpec") -> FiniteType:
+        token = self._next()
+        if token.kind == "kw" and token.value == "boolean":
+            return BoolType()
+        if token.kind == "kw" and token.value == "enum":
+            self._expect("op", "{")
+            members = [self._expect("id").value]
+            while self._accept("op", ","):
+                members.append(self._expect("id").value)
+            self._expect("op", "}")
+            return EnumType(f"enum@{token.line}", members)
+        if token.kind == "num":
+            lo = int(token.value)
+            self._expect("op", "..")
+            hi = int(self._expect("num").value)
+            return RangeType(lo, hi)
+        if token.kind == "id" and token.value in spec.types:
+            return spec.types[token.value]
+        raise MurphiSyntaxError(f"unknown type {token.value!r}", token.line)
+
+    def _parse_type(self, spec: "_ModelSpec") -> None:
+        self._expect("kw", "type")
+        name = self._expect("id").value
+        self._expect("op", ":")
+        declared = self._parse_type_expr(spec)
+        if isinstance(declared, EnumType):
+            declared = EnumType(name, declared.members)
+        self._expect("op", ";")
+        if name in spec.types:
+            raise MurphiSyntaxError(f"duplicate type {name!r}")
+        spec.types[name] = declared
+
+    def _parse_reset_value(self, var_type: FiniteType, token: _Token):
+        if token.kind == "num":
+            return int(token.value)
+        if token.kind == "kw" and token.value in ("true", "false"):
+            return token.value == "true"
+        if token.kind in ("id",):
+            return token.value
+        raise MurphiSyntaxError(f"bad reset value {token.value!r}", token.line)
+
+    def _parse_var(self, spec: "_ModelSpec") -> None:
+        self._expect("kw", "var")
+        name = self._expect("id").value
+        self._expect("op", ":")
+        var_type = self._parse_type_expr(spec)
+        reset = var_type.values()[0]
+        if self._accept("kw", "reset"):
+            reset = self._parse_reset_value(var_type, self._next())
+        self._expect("op", ";")
+        try:
+            spec.state_vars.append(StateVar(name, var_type, reset))
+        except ModelError as exc:
+            raise MurphiSyntaxError(str(exc)) from exc
+
+    def _parse_choice(self, spec: "_ModelSpec") -> None:
+        self._expect("kw", "choice")
+        name = self._expect("id").value
+        self._expect("op", ":")
+        choice_type = self._parse_type_expr(spec)
+        guard_expr = None
+        inactive = None
+        if self._accept("kw", "when"):
+            guard_expr = self._parse_expression()
+        if self._accept("kw", "inactive"):
+            inactive = self._parse_reset_value(choice_type, self._next())
+        self._expect("op", ";")
+        spec.choices.append((name, choice_type, guard_expr, inactive))
+
+    def _parse_rule(self, spec: "_ModelSpec") -> None:
+        self._expect("kw", "rule")
+        self._expect("kw", "begin")
+        body: List[object] = []
+        while not self._accept("kw", "end"):
+            body.append(self._parse_statement())
+        if spec.rule is not None:
+            raise MurphiSyntaxError("multiple rule blocks")
+        spec.rule = body
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token is None:
+            raise MurphiSyntaxError("unexpected end of rule")
+        if token.kind == "kw" and token.value == "if":
+            return self._parse_if()
+        if token.kind == "kw" and token.value == "switch":
+            return self._parse_switch()
+        if token.kind == "id" and token.value.endswith("'"):
+            name_token = self._next()
+            self._expect("op", ":=")
+            value = self._parse_expression()
+            self._expect("op", ";")
+            return _Assign(
+                target=name_token.value[:-1], value=value, line=name_token.line
+            )
+        raise MurphiSyntaxError(
+            f"expected statement, got {token.value!r} (assignments target "
+            "primed variables: x' := ...)", token.line,
+        )
+
+    def _parse_body(self, *terminators: str) -> List[object]:
+        body: List[object] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise MurphiSyntaxError("unterminated block")
+            if token.kind == "kw" and token.value in terminators:
+                return body
+            body.append(self._parse_statement())
+
+    def _parse_if(self) -> _If:
+        start = self._expect("kw", "if")
+        arms: List[Tuple[object, List[object]]] = []
+        condition = self._parse_expression()
+        self._expect("kw", "then")
+        arms.append((condition, self._parse_body("elsif", "else", "endif")))
+        while self._accept("kw", "elsif"):
+            condition = self._parse_expression()
+            self._expect("kw", "then")
+            arms.append((condition, self._parse_body("elsif", "else", "endif")))
+        if self._accept("kw", "else"):
+            arms.append((None, self._parse_body("endif")))
+        self._expect("kw", "endif")
+        self._expect("op", ";")
+        return _If(arms=arms, line=start.line)
+
+    def _parse_switch(self) -> _Switch:
+        start = self._expect("kw", "switch")
+        subject = self._parse_expression()
+        cases: List[Tuple[Optional[List[object]], List[object]]] = []
+        while not self._accept("kw", "endswitch"):
+            self._expect("kw", "case")
+            if self._accept("kw", "else"):
+                keys = None
+            else:
+                keys = [self._parse_expression()]
+                while self._accept("op", ","):
+                    keys.append(self._parse_expression())
+            self._expect("op", ":")
+            cases.append((keys, self._parse_body("case", "endswitch")))
+        self._expect("op", ";")
+        return _Switch(subject=subject, cases=cases, line=start.line)
+
+    # -- expressions -------------------------------------------------------------
+
+    _PRECEDENCE = [["|"], ["&"], ["=", "!=", "<", "<=", ">", ">="], ["+", "-"], ["*"]]
+
+    def _parse_expression(self, level: int = 0):
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_expression(level + 1)
+        while True:
+            token = self._peek()
+            if token and token.kind == "op" and token.value in self._PRECEDENCE[level]:
+                self._next()
+                right = self._parse_expression(level + 1)
+                left = _Bin(op=token.value, left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token and token.kind == "op" and token.value in ("!", "-"):
+            self._next()
+            return _Un(op=token.value, operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        token = self._next()
+        if token.kind == "num":
+            return _Num(int(token.value))
+        if token.kind == "kw" and token.value in ("true", "false"):
+            return _Num(1 if token.value == "true" else 0)
+        if token.kind == "id":
+            if token.value.endswith("'"):
+                raise MurphiSyntaxError(
+                    "primed variables may only appear as assignment targets",
+                    token.line,
+                )
+            return _Sym(token.value)
+        if token.kind == "op" and token.value == "(":
+            inner = self._parse_expression()
+            self._expect("op", ")")
+            return inner
+        raise MurphiSyntaxError(
+            f"unexpected token {token.value!r} in expression", token.line
+        )
+
+
+# ------------------------------------------------------------------ compilation
+
+
+@dataclass
+class _ModelSpec:
+    name: str
+    types: Dict[str, FiniteType] = field(default_factory=dict)
+    state_vars: List[StateVar] = field(default_factory=list)
+    choices: List[Tuple] = field(default_factory=list)
+    rule: Optional[List[object]] = None
+
+
+class _Evaluator:
+    """Interprets the rule body; shared by guards and the step function."""
+
+    def __init__(self, spec: _ModelSpec):
+        self.spec = spec
+        self._enum_literals = {
+            member
+            for t in list(spec.types.values())
+            + [v.type for v in spec.state_vars]
+            if isinstance(t, EnumType)
+            for member in t.members
+        }
+        self._names = {v.name for v in spec.state_vars} | {
+            c[0] for c in spec.choices
+        }
+
+    def eval(self, expr, env: Mapping):
+        if isinstance(expr, _Num):
+            return expr.value
+        if isinstance(expr, _Sym):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self._enum_literals:
+                return expr.name
+            raise MurphiSyntaxError(f"unknown name {expr.name!r} in expression")
+        if isinstance(expr, _Un):
+            value = self.eval(expr.operand, env)
+            return (not value) if expr.op == "!" else -value
+        if isinstance(expr, _Bin):
+            left = self.eval(expr.left, env)
+            if expr.op == "&":
+                return bool(left) and bool(self.eval(expr.right, env))
+            if expr.op == "|":
+                return bool(left) or bool(self.eval(expr.right, env))
+            right = self.eval(expr.right, env)
+            if expr.op == "=":
+                return left == right
+            if expr.op == "!=":
+                return left != right
+            if expr.op == "<":
+                return left < right
+            if expr.op == "<=":
+                return left <= right
+            if expr.op == ">":
+                return left > right
+            if expr.op == ">=":
+                return left >= right
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+        raise MurphiSyntaxError(f"cannot evaluate {expr!r}")
+
+    def execute(self, body, env: Mapping, updates: Dict) -> None:
+        for statement in body:
+            if isinstance(statement, _Assign):
+                updates[statement.target] = self.eval(statement.value, env)
+            elif isinstance(statement, _If):
+                for condition, arm_body in statement.arms:
+                    if condition is None or self.eval(condition, env):
+                        self.execute(arm_body, env, updates)
+                        break
+            elif isinstance(statement, _Switch):
+                subject = self.eval(statement.subject, env)
+                default = None
+                for keys, case_body in statement.cases:
+                    if keys is None:
+                        default = case_body
+                        continue
+                    if any(self.eval(k, env) == subject for k in keys):
+                        self.execute(case_body, env, updates)
+                        break
+                else:
+                    if default is not None:
+                        self.execute(default, env, updates)
+
+
+def parse_model(text: str, name: str = "murphi_model") -> SyncModel:
+    """Parse Synchronous Murphi text into a :class:`SyncModel`."""
+    spec = _Parser(_tokenize(text)).parse_model(name)
+    evaluator = _Evaluator(spec)
+    state_names = [v.name for v in spec.state_vars]
+
+    # Normalize boolean-ish values to each variable's domain.
+    domains = {v.name: v.type for v in spec.state_vars}
+
+    def coerce(var_name: str, value):
+        var_type = domains[var_name]
+        if isinstance(var_type, BoolType):
+            return bool(value)
+        if isinstance(var_type, RangeType) and isinstance(value, bool):
+            return int(value)
+        return value
+
+    def next_state(state, choice):
+        env = dict(state)
+        env.update(choice)
+        updates: Dict = {}
+        evaluator.execute(spec.rule, env, updates)
+        result = dict(state)
+        for target, value in updates.items():
+            if target not in domains:
+                raise MurphiSyntaxError(
+                    f"assignment to undeclared variable {target!r}"
+                )
+            result[target] = coerce(target, value)
+        return result
+
+    choice_points = []
+    for name_, choice_type, guard_expr, inactive in spec.choices:
+        guard = None
+        if guard_expr is not None:
+            guard = (lambda g: lambda s: bool(evaluator.eval(g, s)))(guard_expr)
+        choice_points.append(
+            ChoicePoint(name_, choice_type, guard=guard, inactive_value=inactive)
+        )
+
+    return SyncModel(
+        name=name,
+        state_vars=spec.state_vars,
+        choices=choice_points,
+        next_state=next_state,
+    )

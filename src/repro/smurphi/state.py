@@ -1,0 +1,72 @@
+"""Packing of model states into compact hashable keys.
+
+The enumerator stores hundreds of thousands of states; packing each state
+dict into a single integer key (one bit-field per variable, in declaration
+order) keeps the visited-set small and makes state identity exact.  The
+codec also accounts for the bits-per-state figure reported in Table 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.smurphi.model import StateVar
+
+
+class StateCodec:
+    """Bidirectional state-dict <-> packed-integer codec.
+
+    Layout: variable ``i`` occupies ``bit_width`` bits starting at the
+    cumulative offset of the preceding variables, in declaration order.
+    Zero-width variables (singleton domains) occupy no bits and always
+    decode to their single value.
+
+    >>> from repro.smurphi import BoolType, EnumType
+    >>> codec = StateCodec([
+    ...     StateVar("a", BoolType(), False),
+    ...     StateVar("st", EnumType("e", ["X", "Y", "Z"]), "X"),
+    ... ])
+    >>> key = codec.pack({"a": True, "st": "Z"})
+    >>> codec.unpack(key) == {"a": True, "st": "Z"}
+    True
+    """
+
+    def __init__(self, state_vars: Sequence[StateVar]):
+        self.state_vars = list(state_vars)
+        self._offsets: List[int] = []
+        self._widths: List[int] = []
+        offset = 0
+        for var in self.state_vars:
+            width = var.type.bit_width()
+            self._offsets.append(offset)
+            self._widths.append(width)
+            offset += width
+        self.total_bits = offset
+
+    def pack(self, state: Mapping) -> int:
+        key = 0
+        for var, offset in zip(self.state_vars, self._offsets):
+            key |= var.type.index_of(state[var.name]) << offset
+        return key
+
+    def unpack(self, key: int) -> Dict[str, object]:
+        state: Dict[str, object] = {}
+        for var, offset, width in zip(self.state_vars, self._offsets, self._widths):
+            index = (key >> offset) & ((1 << width) - 1) if width else 0
+            state[var.name] = var.type.value_at(index)
+        return state
+
+    def field(self, name: str) -> Tuple[int, int]:
+        """(offset, width) of variable ``name`` within the packed key."""
+        for var, offset, width in zip(self.state_vars, self._offsets, self._widths):
+            if var.name == name:
+                return offset, width
+        raise KeyError(name)
+
+    def extract(self, key: int, name: str):
+        """Decode a single variable out of a packed key without a full unpack."""
+        for var, offset, width in zip(self.state_vars, self._offsets, self._widths):
+            if var.name == name:
+                index = (key >> offset) & ((1 << width) - 1) if width else 0
+                return var.type.value_at(index)
+        raise KeyError(name)

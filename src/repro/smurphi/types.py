@@ -1,0 +1,137 @@
+"""Finite value domains for Synchronous Murphi models.
+
+Every state variable and choice point in a model ranges over a
+:class:`FiniteType`.  Keeping domains explicitly finite is what makes full
+state enumeration possible, and lets us report the number of bits per state
+exactly as Table 3.2 of the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+
+class FiniteType:
+    """Base class for a finite value domain.
+
+    Subclasses enumerate their values via :meth:`values` and report their
+    encoding width via :meth:`bit_width`.  Values must be hashable and
+    comparable for equality.
+    """
+
+    def values(self) -> Sequence:
+        raise NotImplementedError
+
+    def cardinality(self) -> int:
+        return len(self.values())
+
+    def bit_width(self) -> int:
+        """Number of bits needed to encode one value of this type."""
+        n = self.cardinality()
+        if n <= 1:
+            return 0
+        return (n - 1).bit_length()
+
+    def contains(self, value) -> bool:
+        return value in self.values()
+
+    def index_of(self, value) -> int:
+        """Dense index of ``value`` within the domain (used for packing)."""
+        try:
+            return self._index[value]
+        except AttributeError:
+            self._index = {v: i for i, v in enumerate(self.values())}
+            return self._index[value]
+
+    def value_at(self, index: int):
+        return self.values()[index]
+
+
+class BoolType(FiniteType):
+    """The two-valued boolean domain ``{False, True}``."""
+
+    _VALUES = (False, True)
+
+    def values(self) -> Tuple[bool, bool]:
+        return self._VALUES
+
+    def __repr__(self) -> str:
+        return "BoolType()"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BoolType)
+
+    def __hash__(self) -> int:
+        return hash("BoolType")
+
+
+class EnumType(FiniteType):
+    """A symbolic enumeration, e.g. FSM state names or instruction classes.
+
+    >>> t = EnumType("refill", ["IDLE", "REQ", "FILL"])
+    >>> t.cardinality()
+    3
+    >>> t.bit_width()
+    2
+    """
+
+    def __init__(self, name: str, members: Iterable[str]):
+        self.name = name
+        self.members = tuple(members)
+        if not self.members:
+            raise ValueError(f"enum {name!r} must have at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"enum {name!r} has duplicate members")
+
+    def values(self) -> Tuple[str, ...]:
+        return self.members
+
+    def __repr__(self) -> str:
+        return f"EnumType({self.name!r}, {list(self.members)!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EnumType)
+            and self.name == other.name
+            and self.members == other.members
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.members))
+
+
+class RangeType(FiniteType):
+    """A contiguous integer range ``lo..hi`` inclusive.
+
+    Used for counters such as memory-latency countdowns.
+
+    >>> RangeType(0, 3).values()
+    (0, 1, 2, 3)
+    """
+
+    def __init__(self, lo: int, hi: int):
+        if hi < lo:
+            raise ValueError(f"empty range {lo}..{hi}")
+        self.lo = lo
+        self.hi = hi
+        self._values = tuple(range(lo, hi + 1))
+
+    def values(self) -> Tuple[int, ...]:
+        return self._values
+
+    def index_of(self, value) -> int:
+        if not (self.lo <= value <= self.hi):
+            raise KeyError(value)
+        return value - self.lo
+
+    def value_at(self, index: int):
+        return self.lo + index
+
+    def __repr__(self) -> str:
+        return f"RangeType({self.lo}, {self.hi})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RangeType) and (self.lo, self.hi) == (other.lo, other.hi)
+
+    def __hash__(self) -> int:
+        return hash(("RangeType", self.lo, self.hi))

@@ -1,0 +1,220 @@
+"""Protocol-conformance test generation: the related-work baseline.
+
+Section 5 of the paper contrasts its method with protocol conformance
+testing [ADL+91]: both derive covering test sequences from FSMs, but in
+conformance testing only the *specification* is observable -- tests are a
+transition tour of the spec with per-state verification via UIO (Unique
+Input/Output) sequences.  The structural weakness the paper points out:
+extra behaviours present only in the implementation can never be
+exercised, because the generator never saw them.
+
+This module implements the classical recipe (reset-based transition tour
++ UIO state checks) over our state graphs, so the comparison is runnable:
+see ``tests/test_conformance.py`` and the Fig. 4.1 benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.enumeration.graph import StateGraph
+from repro.smurphi.model import SyncModel
+from repro.smurphi.state import StateCodec
+
+#: Maps a model state dict to its observable output.
+OutputFn = Callable[[dict], object]
+
+
+def _default_output(state: dict) -> object:
+    return tuple(sorted(state.items()))
+
+
+class _Machine:
+    """Convenience wrapper: step a SyncModel by choice dicts."""
+
+    def __init__(self, model: SyncModel, output_fn: Optional[OutputFn] = None):
+        self.model = model
+        self.codec = StateCodec(model.state_vars)
+        self.output_fn = output_fn or _default_output
+
+    def run(self, inputs: Sequence[dict]) -> List[object]:
+        """Outputs observed after each input, starting from reset."""
+        state = self.model.reset_state()
+        outputs = []
+        for choice in inputs:
+            state = self.model.step(state, choice)
+            outputs.append(self.output_fn(state))
+        return outputs
+
+
+def uio_sequences(
+    model: SyncModel,
+    graph: StateGraph,
+    output_fn: Optional[OutputFn] = None,
+    max_length: int = 6,
+) -> Dict[int, List[dict]]:
+    """A UIO sequence per state: an input sequence whose output trace is
+    unique to that state among all states of the graph.
+
+    Breadth-first over input sequences; states with no UIO within
+    ``max_length`` map to ``None`` (classical UIO existence is not
+    guaranteed).
+    """
+    codec = StateCodec(model.state_vars)
+    output = output_fn or _default_output
+    states = [codec.unpack(graph.state_key(i)) for i in range(graph.num_states)]
+    all_choices = _representative_choices(model, states)
+
+    found: Dict[int, Optional[List[dict]]] = {}
+    for target in range(graph.num_states):
+        found[target] = _find_uio(
+            model, states, target, all_choices, output, max_length
+        )
+    return found
+
+
+def _representative_choices(model: SyncModel, states: List[dict]) -> List[dict]:
+    """The union of choice combinations active in any state (inputs a
+    conformance tester is allowed to apply)."""
+    seen = set()
+    combos: List[dict] = []
+    for state in states:
+        for choice in model.enumerate_choices(state):
+            key = tuple(sorted(choice.items()))
+            if key not in seen:
+                seen.add(key)
+                combos.append(choice)
+    return combos
+
+
+def _find_uio(model, states, target, all_choices, output, max_length):
+    """BFS for an input sequence separating ``target`` from every other
+    state by its output trace."""
+    # Each frontier entry: (inputs_so_far, current state per original id,
+    # surviving candidate ids whose trace matched target's so far).
+    initial_candidates = list(range(len(states)))
+    frontier = deque([([], {i: states[i] for i in initial_candidates},
+                      initial_candidates)])
+    while frontier:
+        inputs, positions, candidates = frontier.popleft()
+        if len(inputs) >= max_length:
+            continue
+        for choice in all_choices:
+            next_positions = {}
+            traces = {}
+            usable = True
+            for sid in candidates:
+                try:
+                    nxt = model.step(positions[sid], choice)
+                except Exception:
+                    usable = False
+                    break
+                next_positions[sid] = nxt
+                traces[sid] = output(nxt)
+            if not usable:
+                continue
+            target_trace = traces[target]
+            survivors = [s for s in candidates if traces[s] == target_trace]
+            new_inputs = inputs + [choice]
+            if survivors == [target]:
+                return new_inputs
+            if len(survivors) < len(candidates):
+                frontier.append(
+                    (new_inputs, {s: next_positions[s] for s in survivors},
+                     survivors)
+                )
+    return None
+
+
+@dataclass
+class ConformanceTest:
+    """One conformance test: inputs from reset + the expected output trace."""
+
+    arc_index: int
+    inputs: List[dict]
+    expected_outputs: List[object]
+
+
+@dataclass
+class ConformanceSuite:
+    """A spec-derived conformance test suite."""
+
+    tests: List[ConformanceTest] = field(default_factory=list)
+    states_without_uio: int = 0
+
+    @property
+    def total_inputs(self) -> int:
+        return sum(len(t.inputs) for t in self.tests)
+
+
+def conformance_suite(
+    spec: SyncModel,
+    graph: StateGraph,
+    output_fn: Optional[OutputFn] = None,
+    max_uio_length: int = 6,
+) -> ConformanceSuite:
+    """The classical recipe: for every arc of the *specification* graph,
+    a reset-based test: shortest input path to the arc's source, the
+    arc's input, then the destination's UIO sequence."""
+    machine = _Machine(spec, output_fn)
+    uio = uio_sequences(spec, graph, output_fn, max_uio_length)
+    paths = _shortest_input_paths(spec, graph)
+    suite = ConformanceSuite(
+        states_without_uio=sum(1 for v in uio.values() if v is None)
+    )
+    for index, edge in enumerate(graph.edges()):
+        prefix = paths.get(edge.src)
+        if prefix is None:
+            continue
+        arc_input = dict(zip(spec.choice_names, edge.condition))
+        check = uio.get(edge.dst) or []
+        inputs = prefix + [arc_input] + check
+        suite.tests.append(
+            ConformanceTest(
+                arc_index=index,
+                inputs=inputs,
+                expected_outputs=machine.run(inputs),
+            )
+        )
+    return suite
+
+
+def _shortest_input_paths(model: SyncModel, graph: StateGraph) -> Dict[int, List[dict]]:
+    """Shortest input sequence from reset to each state, over graph arcs."""
+    paths: Dict[int, List[dict]] = {StateGraph.RESET: []}
+    queue = deque([StateGraph.RESET])
+    while queue:
+        current = queue.popleft()
+        for edge in graph.out_edges(current):
+            if edge.dst not in paths:
+                paths[edge.dst] = paths[current] + [
+                    dict(zip(model.choice_names, edge.condition))
+                ]
+                queue.append(edge.dst)
+    return paths
+
+
+@dataclass
+class ConformanceVerdict:
+    tests_run: int
+    failures: List[int]  # arc indices whose output traces mismatched
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def run_conformance(
+    implementation: SyncModel,
+    suite: ConformanceSuite,
+    output_fn: Optional[OutputFn] = None,
+) -> ConformanceVerdict:
+    """Execute a spec-derived suite against an implementation machine."""
+    machine = _Machine(implementation, output_fn)
+    failures = []
+    for test in suite.tests:
+        if machine.run(test.inputs) != test.expected_outputs:
+            failures.append(test.arc_index)
+    return ConformanceVerdict(tests_run=len(suite.tests), failures=failures)

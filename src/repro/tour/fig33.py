@@ -1,0 +1,251 @@
+"""The paper's tour-generation algorithm (Fig. 3.3), faithfully reproduced.
+
+The generator produces a *set* of tour components, all starting from the
+reset state, whose union covers every arc of the state graph.  Within a
+tour it proceeds greedily depth-first over untraversed arcs; when stuck it
+performs a breadth-first *explore* over the whole graph (traversed arcs
+included) and splices in the shortest path to the nearest state that still
+has an untraversed out-arc.  Traversing an arc multiple times is cheap in
+simulation whereas backtracking/checkpointing is not, so re-traversal is
+always preferred.  When no untraversed arc is reachable from the current
+point -- or the per-file instruction limit is hit -- the tour is closed and
+a new one starts from reset.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.enumeration.graph import Edge, StateGraph
+
+#: Cost function: instructions contributed by traversing one arc.
+InstructionCost = Callable[[Edge], int]
+
+
+def _unit_cost(edge: Edge) -> int:
+    return 1
+
+
+@dataclass
+class Tour:
+    """One tour component: a walk from reset given as edge indices."""
+
+    edge_indices: List[int] = field(default_factory=list)
+    instructions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.edge_indices)
+
+
+@dataclass(frozen=True)
+class TourStats:
+    """The quantities Table 3.3 reports for a generation run."""
+
+    num_traces: int
+    total_edge_traversals: int
+    total_instructions: int
+    generation_seconds: float
+    longest_trace_edges: int
+    covered_edges: int
+    graph_edges: int
+
+    @property
+    def instructions_per_arc(self) -> float:
+        """Average instructions needed to test each arc (paper: ~7)."""
+        if not self.graph_edges:
+            return 0.0
+        return self.total_instructions / self.graph_edges
+
+    def estimated_simulation_hours(self, cycles_per_second: float = 100.0) -> float:
+        """Paper's 'estimated simulation time @ 100Hz' row (1 arc = 1 cycle)."""
+        return self.total_edge_traversals / cycles_per_second / 3600.0
+
+    def estimated_longest_trace_hours(self, cycles_per_second: float = 100.0) -> float:
+        return self.longest_trace_edges / cycles_per_second / 3600.0
+
+
+class TourSet:
+    """The result of a generation run: tours plus Table 3.3 statistics."""
+
+    def __init__(self, graph: StateGraph, tours: List[Tour], generation_seconds: float):
+        self.graph = graph
+        self.tours = tours
+        covered = set()
+        for tour in tours:
+            covered.update(tour.edge_indices)
+        self.stats = TourStats(
+            num_traces=len(tours),
+            total_edge_traversals=sum(len(t) for t in tours),
+            total_instructions=sum(t.instructions for t in tours),
+            generation_seconds=generation_seconds,
+            longest_trace_edges=max((len(t) for t in tours), default=0),
+            covered_edges=len(covered),
+            graph_edges=graph.num_edges,
+        )
+
+    @property
+    def complete(self) -> bool:
+        """True when the union of tours covers every arc in the graph."""
+        return self.stats.covered_edges == self.graph.num_edges
+
+    def __iter__(self):
+        return iter(self.tours)
+
+    def __len__(self) -> int:
+        return len(self.tours)
+
+
+class TourGenerator:
+    """Implements ``GenerateTours`` of Fig. 3.3.
+
+    Parameters
+    ----------
+    graph:
+        The enumerated state graph (every state reachable from reset).
+    instruction_cost:
+        Instructions contributed by an arc traversal; defaults to one per
+        arc.  The PP mapping charges one instruction per issued class.
+    max_instructions_per_trace:
+        The per-output-file limit of Fig. 3.3 (the paper evaluates both no
+        limit and a 10,000-instruction limit in Table 3.3).  ``None``
+        disables the limit.
+    """
+
+    def __init__(
+        self,
+        graph: StateGraph,
+        instruction_cost: InstructionCost = _unit_cost,
+        max_instructions_per_trace: Optional[int] = None,
+    ):
+        if max_instructions_per_trace is not None and max_instructions_per_trace <= 0:
+            raise ValueError("max_instructions_per_trace must be positive")
+        self.graph = graph
+        self.instruction_cost = instruction_cost
+        self.max_instructions = max_instructions_per_trace
+
+    # -- public API ------------------------------------------------------------
+
+    def generate(self) -> TourSet:
+        """Run the full Fig. 3.3 loop until every arc has been traversed."""
+        started = time.perf_counter()
+        graph = self.graph
+        traversed = [False] * graph.num_edges
+        # Per-state cursor into the out-edge list: edges before the cursor
+        # are all traversed, so the DFS scan restarts where it left off.
+        cursors = [0] * graph.num_states
+        untraversed_out = [len(graph.out_edge_indices(s)) for s in range(graph.num_states)]
+        remaining = graph.num_edges
+
+        tours: List[Tour] = []
+        while remaining:
+            tour = Tour()
+            state = StateGraph.RESET
+            limit_hit = False
+            while True:
+                state = self._traverse_dfs(state, tour, traversed, cursors, untraversed_out)
+                if self.max_instructions is not None and tour.instructions >= self.max_instructions:
+                    limit_hit = True
+                    break
+                path = self._explore_bfs(state, untraversed_out)
+                if path is None:
+                    break  # nothing else reachable: close this tour
+                for index in path:
+                    self._take(index, tour, traversed, untraversed_out)
+                state = graph.edge(path[-1]).dst if path else state
+            remaining = sum(untraversed_out)
+            if tour.edge_indices:
+                tours.append(tour)
+            elif not limit_hit and remaining:
+                # Defensive: reset has no untraversed reachable arc yet arcs
+                # remain -- impossible for graphs enumerated from reset.
+                raise RuntimeError(
+                    "unreachable untraversed arcs remain; graph is not "
+                    "reset-reachable"
+                )
+        elapsed = time.perf_counter() - started
+        return TourSet(self.graph, tours, elapsed)
+
+    # -- phases of Fig. 3.3 -------------------------------------------------------
+
+    def _traverse_dfs(
+        self,
+        state: int,
+        tour: Tour,
+        traversed: List[bool],
+        cursors: List[int],
+        untraversed_out: List[int],
+    ) -> int:
+        """Greedy depth-first phase: follow untraversed arcs until stuck.
+
+        States can be visited multiple times as long as an untraversed arc
+        leaves them; a vector is generated for every arc taken.
+        """
+        graph = self.graph
+        while untraversed_out[state]:
+            out = graph.out_edge_indices(state)
+            cursor = cursors[state]
+            while cursor < len(out) and traversed[out[cursor]]:
+                cursor += 1
+            cursors[state] = cursor
+            if cursor >= len(out):
+                break  # stale counter; nothing actually untraversed here
+            index = out[cursor]
+            self._take(index, tour, traversed, untraversed_out)
+            state = graph.edge(index).dst
+            # Limit check comes *after* taking an arc: every DFS round makes
+            # at least one arc of progress, so a long explore path can never
+            # starve the trace into repeating itself forever.
+            if self.max_instructions is not None and tour.instructions >= self.max_instructions:
+                break
+        return state
+
+    def _explore_bfs(self, state: int, untraversed_out: List[int]) -> Optional[List[int]]:
+        """Explore phase: shortest path (over *all* arcs) from ``state`` to
+        any state with an untraversed out-arc, or ``None`` if unreachable.
+
+        The path's arcs are appended to the tour even though they are
+        already traversed -- re-traversal is cheap, backtracking is not.
+        """
+        if untraversed_out[state]:
+            return []
+        graph = self.graph
+        parent_edge: dict = {state: None}
+        queue = deque([state])
+        while queue:
+            current = queue.popleft()
+            for index in graph.out_edge_indices(current):
+                dst = graph.edge(index).dst
+                if dst in parent_edge:
+                    continue
+                parent_edge[dst] = index
+                if untraversed_out[dst]:
+                    return self._reconstruct(parent_edge, dst)
+                queue.append(dst)
+        return None
+
+    def _reconstruct(self, parent_edge: dict, target: int) -> List[int]:
+        path: List[int] = []
+        node = target
+        while parent_edge[node] is not None:
+            index = parent_edge[node]
+            path.append(index)
+            node = self.graph.edge(index).src
+        path.reverse()
+        return path
+
+    def _take(
+        self,
+        index: int,
+        tour: Tour,
+        traversed: List[bool],
+        untraversed_out: List[int],
+    ) -> None:
+        edge = self.graph.edge(index)
+        tour.edge_indices.append(index)
+        tour.instructions += self.instruction_cost(edge)
+        if not traversed[index]:
+            traversed[index] = True
+            untraversed_out[edge.src] -= 1

@@ -1,0 +1,22 @@
+"""HDL-to-FSM translation (oval 1 of Fig. 3.1).
+
+Converts an elaborated Verilog design into a Synchronous Murphi model:
+clocked registers become explicit state variables (the latch analysis of
+the paper's footnote 1), combinational logic becomes the next-state
+function, and the top module's inputs become nondeterministic choice
+points driven by the enumerator's abstract environment.
+"""
+
+from repro.translate.translator import (
+    translate,
+    translate_verilog,
+    input_vectors_for_walk,
+)
+from repro.hdl.errors import TranslationError
+
+__all__ = [
+    "translate",
+    "translate_verilog",
+    "input_vectors_for_walk",
+    "TranslationError",
+]

@@ -1,0 +1,460 @@
+"""The Verilog -> Synchronous Murphi translator.
+
+Mapping (section 3.1 of the paper):
+
+- The Verilog concurrency model -- implicit clock advancing when all
+  variables are stable -- maps onto the explicit state/non-state split:
+  registers assigned in ``always @(posedge clk)`` blocks become state
+  variables (with an implicit hold when a path leaves them unassigned),
+  and everything else is combinational, re-evaluated from scratch each
+  cycle in dependency order.
+- Top-level inputs become nondeterministic choice points: the abstract
+  environment "tries every combination of values".
+- ``// @reset n`` annotations supply reset values (default 0); ``// @state``
+  marks the nets the designer delimited as control state (validated, and
+  used to report the annotated-line statistics the paper quotes).
+
+Combinational latches (a comb block leaving a variable unassigned on some
+path) are rejected: in the stylized subset state must be clocked.
+Combinational cycles are rejected as well.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.enumeration.graph import StateGraph
+from repro.hdl import ast
+from repro.hdl.elaborate import FlatDesign, elaborate
+from repro.hdl.errors import TranslationError
+from repro.hdl.parser import parse
+from repro.smurphi import ChoicePoint, RangeType, StateVar, SyncModel
+
+
+def translate_verilog(
+    source: str,
+    top: str,
+    clock: str = "clk",
+    choices_override: Optional[Sequence[ChoicePoint]] = None,
+) -> Tuple[SyncModel, FlatDesign]:
+    """Parse + elaborate + translate in one call."""
+    design = parse(source)
+    flat = elaborate(design, top, clock=clock)
+    return translate(flat, choices_override=choices_override), flat
+
+
+def translate(
+    flat: FlatDesign,
+    choices_override: Optional[Sequence[ChoicePoint]] = None,
+) -> SyncModel:
+    """Translate a flattened design into a :class:`SyncModel`.
+
+    ``choices_override`` lets the designer supply the abstract environment
+    model explicitly -- restricted domains, guards, and inactive values for
+    the free inputs (this is the Murphi-side modeling the paper describes
+    for the PC, caches, Inbox, Outbox...).  Every free input must be
+    covered; names must match.
+    """
+    return _Translator(flat, choices_override).build()
+
+
+class _Translator:
+    def __init__(
+        self,
+        flat: FlatDesign,
+        choices_override: Optional[Sequence[ChoicePoint]] = None,
+    ):
+        self.flat = flat
+        self.choices_override = (
+            list(choices_override) if choices_override is not None else None
+        )
+        self.widths: Dict[str, int] = {
+            name: net.width for name, net in flat.nets.items()
+        }
+        self.state_names = self._find_state_registers()
+        self.choice_names = list(flat.free_inputs)
+        self.comb_items = self._schedule_combinational()
+        self.clocked_blocks = [b for b in flat.always_blocks if b.clocked]
+        self._check_single_driver()
+
+    # -- analysis -----------------------------------------------------------
+
+    def _find_state_registers(self) -> List[str]:
+        """Latch analysis: every register assigned under a clock edge holds
+        state across cycles and becomes an explicit state variable."""
+        state: List[str] = []
+        seen: Set[str] = set()
+        for block in self.flat.always_blocks:
+            if not block.clocked:
+                continue
+            for target in _targets(block.body):
+                if target not in self.flat.nets:
+                    raise TranslationError(f"assignment to undeclared net {target!r}")
+                if self.flat.nets[target].kind != "reg":
+                    raise TranslationError(
+                        f"{target!r} is a wire but assigned in a clocked block"
+                    )
+                if target not in seen:
+                    seen.add(target)
+                    state.append(target)
+        return state
+
+    def _schedule_combinational(self) -> List:
+        """Topologically order continuous assigns and comb always blocks."""
+        items: List[Tuple[Set[str], Set[str], object]] = []  # (defs, uses, item)
+        for assign in self.flat.assigns:
+            items.append(({assign.target}, _expr_uses(assign.value), assign))
+        for block in self.flat.always_blocks:
+            if block.clocked:
+                continue
+            defines = _targets(block.body)
+            self._check_no_comb_latch(block, defines)
+            uses = _block_uses(block.body) - defines
+            items.append((defines, uses, block))
+
+        known = set(self.state_names) | set(self.choice_names)
+        ordered: List = []
+        remaining = list(items)
+        while remaining:
+            progressed = False
+            for entry in list(remaining):
+                defines, uses, item = entry
+                if uses <= known | defines:
+                    ordered.append(item)
+                    known |= defines
+                    remaining.remove(entry)
+                    progressed = True
+            if not progressed:
+                unresolved = sorted(
+                    name for defines, uses, _ in remaining for name in uses - known
+                )
+                raise TranslationError(
+                    "combinational loop or undriven net involving: "
+                    + ", ".join(sorted({n for d, _, _ in remaining for n in d}))
+                    + (f" (unresolved reads: {unresolved[:6]})" if unresolved else "")
+                )
+        return ordered
+
+    def _check_no_comb_latch(self, block: ast.AlwaysBlock, defines: Set[str]) -> None:
+        always_assigned = _assigned_on_all_paths(block.body)
+        latched = defines - always_assigned
+        if latched:
+            raise TranslationError(
+                f"combinational latch inferred on {sorted(latched)}: assign a "
+                "default at the top of the always @(*) block",
+                block.line,
+            )
+
+    def _check_single_driver(self) -> None:
+        drivers: Dict[str, int] = {}
+        for assign in self.flat.assigns:
+            drivers[assign.target] = drivers.get(assign.target, 0) + 1
+        for block in self.flat.always_blocks:
+            for target in _targets(block.body):
+                drivers[target] = drivers.get(target, 0) + 1
+        multi = sorted(name for name, count in drivers.items() if count > 1)
+        if multi:
+            raise TranslationError(f"multiple drivers for: {multi}")
+        for name in drivers:
+            if name not in self.flat.nets:
+                raise TranslationError(f"assignment to undeclared net {name!r}")
+
+    # -- model construction ---------------------------------------------------------
+
+    def build(self) -> SyncModel:
+        state_vars = []
+        for name in self.state_names:
+            net = self.flat.nets[name]
+            reset = net.reset_value
+            limit = (1 << net.width) - 1
+            if not 0 <= reset <= limit:
+                raise TranslationError(
+                    f"@reset {reset} does not fit in {net.width} bits of {name!r}",
+                    net.line,
+                )
+            state_vars.append(StateVar(name, RangeType(0, limit), reset))
+        if self.choices_override is not None:
+            override_names = [c.name for c in self.choices_override]
+            if sorted(override_names) != sorted(self.choice_names):
+                raise TranslationError(
+                    "choices_override must cover exactly the free inputs "
+                    f"{sorted(self.choice_names)}, got {sorted(override_names)}"
+                )
+            for point in self.choices_override:
+                limit = (1 << self.widths[point.name]) - 1
+                for value in point.type.values():
+                    if not 0 <= int(value) <= limit:
+                        raise TranslationError(
+                            f"override domain of {point.name!r} exceeds its "
+                            f"{self.widths[point.name]}-bit port"
+                        )
+            choices = self.choices_override
+        else:
+            choices = [
+                ChoicePoint(name, RangeType(0, (1 << self.widths[name]) - 1))
+                for name in self.choice_names
+            ]
+        return SyncModel(
+            name=self.flat.name,
+            state_vars=state_vars,
+            choices=choices,
+            next_state=self._next_state,
+        )
+
+    # -- simulation semantics ---------------------------------------------------------
+
+    def _next_state(self, state: Mapping, choice: Mapping) -> Dict:
+        env: Dict[str, int] = {}
+        env.update(state)
+        env.update(choice)
+        for item in self.comb_items:
+            if isinstance(item, ast.ContinuousAssign):
+                env[item.target] = self._mask(item.target, self._eval(item.value, env))
+            else:
+                self._exec_block(item.body, env)
+        updates: Dict[str, int] = {}
+        for block in self.clocked_blocks:
+            self._exec_clocked(block.body, env, updates)
+        return {
+            name: updates.get(name, state[name]) for name in self.state_names
+        }
+
+    def _exec_block(self, body: Sequence[ast.Statement], env: Dict[str, int]) -> None:
+        for statement in body:
+            if isinstance(statement, ast.Assign):
+                if statement.nonblocking:
+                    raise TranslationError(
+                        "non-blocking assignment in combinational block",
+                        statement.line,
+                    )
+                env[statement.target] = self._mask(
+                    statement.target, self._eval(statement.value, env)
+                )
+            elif isinstance(statement, ast.If):
+                branch = (
+                    statement.then_body
+                    if self._eval(statement.condition, env)
+                    else statement.else_body
+                )
+                self._exec_block(branch, env)
+            elif isinstance(statement, ast.Case):
+                self._exec_block(self._case_branch(statement, env), env)
+
+    def _exec_clocked(
+        self, body: Sequence[ast.Statement], env: Mapping, updates: Dict[str, int]
+    ) -> None:
+        for statement in body:
+            if isinstance(statement, ast.Assign):
+                if not statement.nonblocking:
+                    raise TranslationError(
+                        "blocking assignment in clocked block (use <=)",
+                        statement.line,
+                    )
+                updates[statement.target] = self._mask(
+                    statement.target, self._eval(statement.value, env)
+                )
+            elif isinstance(statement, ast.If):
+                branch = (
+                    statement.then_body
+                    if self._eval(statement.condition, env)
+                    else statement.else_body
+                )
+                self._exec_clocked(branch, env, updates)
+            elif isinstance(statement, ast.Case):
+                self._exec_clocked(self._case_branch(statement, env), env, updates)
+
+    def _case_branch(self, statement: ast.Case, env: Mapping) -> List[ast.Statement]:
+        subject = self._eval(statement.subject, env)
+        default: List[ast.Statement] = []
+        for keys, body in statement.items:
+            if keys is None:
+                default = body
+                continue
+            if any(self._eval(k, env) == subject for k in keys):
+                return body
+        return default
+
+    def _mask(self, name: str, value: int) -> int:
+        return value & ((1 << self.widths[name]) - 1)
+
+    def _eval(self, expr: ast.Expr, env: Mapping) -> int:
+        if isinstance(expr, ast.Number):
+            value = expr.value
+            if expr.width:
+                value &= (1 << expr.width) - 1
+            return value
+        if isinstance(expr, ast.Ident):
+            try:
+                return int(env[expr.name])
+            except KeyError:
+                raise TranslationError(f"read of undriven net {expr.name!r}") from None
+        if isinstance(expr, ast.Index):
+            base = env.get(expr.base)
+            if base is None:
+                raise TranslationError(f"read of undriven net {expr.base!r}")
+            return (int(base) >> self._eval(expr.index, env)) & 1
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, ast.Ternary):
+            if self._eval(expr.condition, env):
+                return self._eval(expr.if_true, env)
+            return self._eval(expr.if_false, env)
+        raise TranslationError(f"unsupported expression {expr!r}")
+
+    def _eval_unary(self, expr: ast.Unary, env: Mapping) -> int:
+        if expr.op in ("&", "|", "^"):
+            # Reduction operators need a width: only direct net reads.
+            if not isinstance(expr.operand, ast.Ident):
+                raise TranslationError(
+                    f"reduction {expr.op!r} applies only to a plain net"
+                )
+            width = self.widths[expr.operand.name]
+            bits = [
+                (self._eval(expr.operand, env) >> i) & 1 for i in range(width)
+            ]
+            if expr.op == "&":
+                return int(all(bits))
+            if expr.op == "|":
+                return int(any(bits))
+            result = 0
+            for bit in bits:
+                result ^= bit
+            return result
+        operand = self._eval(expr.operand, env)
+        if expr.op == "!":
+            return int(operand == 0)
+        if expr.op == "~":
+            width = (
+                self.widths[expr.operand.name]
+                if isinstance(expr.operand, ast.Ident)
+                else 32
+            )
+            return (~operand) & ((1 << width) - 1)
+        if expr.op == "-":
+            return -operand
+        return operand  # unary +
+
+    def _eval_binary(self, expr: ast.Binary, env: Mapping) -> int:
+        op = expr.op
+        if op == "&&":
+            return int(bool(self._eval(expr.left, env)) and bool(self._eval(expr.right, env)))
+        if op == "||":
+            return int(bool(self._eval(expr.left, env)) or bool(self._eval(expr.right, env)))
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        table: Dict[str, Callable[[], int]] = {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left // right if right else 0,
+            "%": lambda: left % right if right else 0,
+            "&": lambda: left & right,
+            "|": lambda: left | right,
+            "^": lambda: left ^ right,
+            "<<": lambda: left << right,
+            ">>": lambda: left >> right,
+            "==": lambda: int(left == right),
+            "!=": lambda: int(left != right),
+            "<": lambda: int(left < right),
+            "<=": lambda: int(left <= right),
+            ">": lambda: int(left > right),
+            ">=": lambda: int(left >= right),
+        }
+        if op not in table:
+            raise TranslationError(f"unsupported operator {op!r}")
+        return table[op]()
+
+
+# ---------------------------------------------------------------- static helpers
+
+
+def _targets(body: Sequence[ast.Statement]) -> Set[str]:
+    found: Set[str] = set()
+    for statement in body:
+        if isinstance(statement, ast.Assign):
+            found.add(statement.target)
+        elif isinstance(statement, ast.If):
+            found |= _targets(statement.then_body)
+            found |= _targets(statement.else_body)
+        elif isinstance(statement, ast.Case):
+            for _, case_body in statement.items:
+                found |= _targets(case_body)
+    return found
+
+
+def _assigned_on_all_paths(body: Sequence[ast.Statement]) -> Set[str]:
+    assigned: Set[str] = set()
+    for statement in body:
+        if isinstance(statement, ast.Assign):
+            assigned.add(statement.target)
+        elif isinstance(statement, ast.If):
+            then_set = _assigned_on_all_paths(statement.then_body)
+            else_set = _assigned_on_all_paths(statement.else_body)
+            assigned |= then_set & else_set
+        elif isinstance(statement, ast.Case):
+            has_default = any(keys is None for keys, _ in statement.items)
+            if statement.items and has_default:
+                sets = [
+                    _assigned_on_all_paths(case_body)
+                    for _, case_body in statement.items
+                ]
+                common = sets[0]
+                for other in sets[1:]:
+                    common &= other
+                assigned |= common
+    return assigned
+
+
+def _expr_uses(expr: ast.Expr) -> Set[str]:
+    if isinstance(expr, ast.Ident):
+        return {expr.name}
+    if isinstance(expr, ast.Index):
+        return {expr.base} | _expr_uses(expr.index)
+    if isinstance(expr, ast.Unary):
+        return _expr_uses(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _expr_uses(expr.left) | _expr_uses(expr.right)
+    if isinstance(expr, ast.Ternary):
+        return (
+            _expr_uses(expr.condition)
+            | _expr_uses(expr.if_true)
+            | _expr_uses(expr.if_false)
+        )
+    return set()
+
+
+def _block_uses(body: Sequence[ast.Statement]) -> Set[str]:
+    used: Set[str] = set()
+    for statement in body:
+        if isinstance(statement, ast.Assign):
+            used |= _expr_uses(statement.value)
+        elif isinstance(statement, ast.If):
+            used |= _expr_uses(statement.condition)
+            used |= _block_uses(statement.then_body)
+            used |= _block_uses(statement.else_body)
+        elif isinstance(statement, ast.Case):
+            used |= _expr_uses(statement.subject)
+            for keys, case_body in statement.items:
+                if keys:
+                    for key in keys:
+                        used |= _expr_uses(key)
+                used |= _block_uses(case_body)
+    return used
+
+
+def input_vectors_for_walk(
+    model: SyncModel, graph: StateGraph, walk: Sequence[int]
+) -> List[Dict[str, int]]:
+    """The generic transition-condition mapping for translated designs.
+
+    Each arc of the walk yields one cycle's worth of input forcing: the
+    assignment of every free input that the enumeration recorded on that
+    arc.  This is exactly what a force/release file encodes.
+    """
+    vectors: List[Dict[str, int]] = []
+    for index in walk:
+        edge = graph.edge(index)
+        vectors.append(dict(zip(model.choice_names, edge.condition)))
+    return vectors

@@ -1,0 +1,27 @@
+"""Test-vector generation from transition tours (paper section 3.3).
+
+A tour over the enumerated control graph is converted to simulator stimuli
+by the *transition condition mapping*: the choice of actions recorded on
+each arc is replayed through the control model to discover which interface
+events fire (a fetch of some instruction class, a D-cache tag probe, an
+Inbox query...), and each event contributes one entry to the corresponding
+force queue plus -- for fetches -- one biased-random instruction of the
+chosen class to the test program.  Data values and precise operations are
+random; only what the control logic sees is pinned.
+"""
+
+from repro.vectors.generator import (
+    VectorGenerator,
+    TestVectorTrace,
+    TraceSet,
+    pp_instruction_cost,
+)
+from repro.vectors.force import force_script
+
+__all__ = [
+    "VectorGenerator",
+    "TestVectorTrace",
+    "TraceSet",
+    "pp_instruction_cost",
+    "force_script",
+]

@@ -1,0 +1,48 @@
+"""Emission of Verilog-style force/release command files.
+
+The paper drives its commercial simulator by compiling a set of
+``force``/``release`` commands alongside the model, toggling the interface
+wires at the times the transition tour dictates.  This module renders a
+:class:`~repro.vectors.generator.TestVectorTrace` in that textual format --
+useful as a build artifact, for eyeballing a trace, and as the on-disk
+exchange format between generation and simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pp.asm import disassemble
+from repro.vectors.generator import TestVectorTrace
+
+#: Signal names in the (synthesized) PP testbench hierarchy.
+SIGNALS = {
+    "fetch_hits": "tb.pp.icache.tag_match",
+    "dcache_hits": "tb.pp.dcache.tag_match",
+    "inbox_ready": "tb.magic.inbox.ready",
+    "outbox_ready": "tb.magic.outbox.ready",
+    "victim_dirty": "tb.pp.dcache.victim_dirty",
+    "mem_pace": "tb.magic.memctrl.word_valid",
+}
+
+
+def force_script(trace: TestVectorTrace, title: str = "trace") -> str:
+    """Render one trace as a force/release command file."""
+    lines: List[str] = [
+        f"// {title}: {trace.num_instructions} instructions, "
+        f"{trace.edges_traversed} arc traversals",
+        "// Instruction stream (loaded into the abstract I-cache image):",
+    ]
+    for index, instruction in enumerate(trace.program):
+        lines.append(f"//   [{index:5d}] {disassemble(instruction)}")
+    lines.append("initial begin")
+    for attr, signal in SIGNALS.items():
+        values = getattr(trace, attr)
+        for event_index, value in enumerate(values):
+            lines.append(
+                f"  @(event_{attr}[{event_index}]) force {signal} = {int(value)};"
+            )
+        if values:
+            lines.append(f"  release {signal};")
+    lines.append("end")
+    return "\n".join(lines) + "\n"

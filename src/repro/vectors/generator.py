@@ -1,0 +1,282 @@
+"""Tour -> test-vector conversion for the PP control model.
+
+The generator walks each tour arc, replays
+:meth:`~repro.pp.fsm_model.PPControlModel.transition_events` for the arc's
+recorded condition, and translates events into:
+
+- the **test program**: one biased-random instruction per successful fetch
+  (two when the dual-issue choice fired);
+- the **stimulus queues** a :class:`~repro.pp.rtl.stimulus.QueueStimulus`
+  replays into the RTL model: I-fetch outcomes, D-probe outcomes,
+  Inbox/Outbox readiness, victim dirtiness, memory pacing.
+
+Address realization: the abstract model's *conflict* comparator choice is
+realized through actual addresses rather than forced (forcing it could
+break data coherence).  Loads whose conflict choice fired true get the
+pending store's address patched in; all other memory operands draw from a
+pool of distinct cache lines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.enumeration.graph import Edge, StateGraph
+from repro.pp.fsm_model import PPControlModel
+from repro.pp.isa import Instruction, InstructionClass, Opcode, random_instruction
+from repro.pp.rtl.memory import LINE_WORDS
+from repro.pp.rtl.stimulus import QueueStimulus
+from repro.smurphi.state import StateCodec
+from repro.tour.fig33 import Tour
+
+#: Distinct cache-line base addresses used for memory operands (kept low so
+#: data never aliases the program text segment).
+DEFAULT_ADDRESS_POOL = tuple(range(0, 16 * LINE_WORDS * 4, LINE_WORDS * 4))
+
+
+@dataclass
+class TestVectorTrace:
+    """One simulation trace: a program plus its interface-force queues."""
+
+    program: List[Instruction] = field(default_factory=list)
+    fetch_hits: List[bool] = field(default_factory=list)
+    dcache_hits: List[bool] = field(default_factory=list)
+    inbox_ready: List[bool] = field(default_factory=list)
+    outbox_ready: List[bool] = field(default_factory=list)
+    victim_dirty: List[bool] = field(default_factory=list)
+    mem_pace: List[bool] = field(default_factory=list)
+    edges_traversed: int = 0
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.program)
+
+    def stimulus(self) -> QueueStimulus:
+        return QueueStimulus(
+            fetch_hits=self.fetch_hits,
+            dcache_hits=self.dcache_hits,
+            inbox_ready=self.inbox_ready,
+            outbox_ready=self.outbox_ready,
+            victim_dirty=self.victim_dirty,
+            mem_pace=self.mem_pace,
+        )
+
+
+@dataclass
+class TraceSet:
+    """All traces generated from a tour set, with Table 3.3 accounting."""
+
+    traces: List[TestVectorTrace]
+
+    @property
+    def num_traces(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.num_instructions for t in self.traces)
+
+    @property
+    def total_edge_traversals(self) -> int:
+        return sum(t.edges_traversed for t in self.traces)
+
+    @property
+    def longest_trace_edges(self) -> int:
+        return max((t.edges_traversed for t in self.traces), default=0)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+class VectorGenerator:
+    """Transition-condition mapping for the PP (Fig. 3.1 oval 3).
+
+    Parameters
+    ----------
+    model:
+        The control model the graph was enumerated from (provides
+        ``transition_events``).
+    graph:
+        The enumerated state graph.
+    seed:
+        Seed for the biased-random fill of control-irrelevant fields.
+    """
+
+    def __init__(
+        self,
+        model: PPControlModel,
+        graph: StateGraph,
+        seed: int = 0,
+        address_pool: Sequence[int] = DEFAULT_ADDRESS_POOL,
+    ):
+        self.model = model
+        self.graph = graph
+        self.codec = StateCodec(model.state_vars)
+        self.seed = seed
+        self.address_pool = list(address_pool)
+
+    # -- public API -------------------------------------------------------------
+
+    def generate(self, tours: Sequence[Tour]) -> TraceSet:
+        """Convert every tour component into a test-vector trace."""
+        traces = [
+            self._trace_from_tour(tour, random.Random(f"{self.seed}:{i}"))
+            for i, tour in enumerate(tours)
+        ]
+        return TraceSet(traces=traces)
+
+    def trace_from_edges(
+        self, edge_indices: Sequence[int], rng: Optional[random.Random] = None
+    ) -> TestVectorTrace:
+        """Convert one walk (list of edge indices) into a trace."""
+        return self._trace_from_tour(
+            Tour(edge_indices=list(edge_indices)), rng or random.Random(self.seed)
+        )
+
+    # -- the mapping --------------------------------------------------------------
+
+    def _trace_from_tour(self, tour: Tour, rng: random.Random) -> TestVectorTrace:
+        trace = TestVectorTrace(edges_traversed=len(tour.edge_indices))
+        # Parallel index pipeline: which program index occupies each stage,
+        # so the conflict comparator's choice can be realized by patching
+        # the in-flight load's address.
+        ifq_index: Optional[int] = None
+        ex_index: Optional[int] = None
+        mem_index: Optional[int] = None
+        pending_store_addr: Optional[int] = None
+
+        for edge_index in tour.edge_indices:
+            edge = self.graph.edge(edge_index)
+            state = self.codec.unpack(self.graph.state_key(edge.src))
+            choice = dict(zip(self.model.choice_names, edge.condition))
+            events = self.model.transition_events(state, choice)
+            advanced = any(e[0] == "pipe_advance" for e in events)
+            fetched_index: Optional[int] = None
+
+            for event in events:
+                kind = event[0]
+                if kind == "fetch":
+                    _, klass_name, i_hit, dual = event
+                    trace.fetch_hits.append(bool(i_hit))
+                    if i_hit:
+                        fetched_index = len(trace.program)
+                        self._emit_instruction(trace, klass_name, rng)
+                        if dual:
+                            self._emit_instruction(trace, "ALU", rng)
+                elif kind == "d_probe":
+                    trace.dcache_hits.append(bool(event[1]))
+                    if state["mem"] == "SD" and event[1] and mem_index is not None:
+                        pending_store_addr = self._operand_address(trace, mem_index)
+                elif kind == "refill_start":
+                    trace.victim_dirty.append(bool(event[1]))
+                    if state["mem"] == "SD" and mem_index is not None:
+                        # The store posts after its refill completes.
+                        pending_store_addr = self._operand_address(trace, mem_index)
+                elif kind == "conflict":
+                    self._realize_conflict(
+                        trace, bool(event[1]), mem_index, pending_store_addr, rng
+                    )
+                elif kind == "inbox_query":
+                    trace.inbox_ready.append(bool(event[1]))
+                elif kind == "outbox_query":
+                    trace.outbox_ready.append(bool(event[1]))
+                elif kind == "mem_word":
+                    trace.mem_pace.append(bool(event[1]))
+
+            # The split store's idle-cycle data write clears the pending
+            # address exactly when the model clears st_pend.
+            next_state = self.model.step(state, choice)
+            if not next_state["st_pend"]:
+                pending_store_addr = None
+
+            if advanced:
+                mem_index, ex_index, ifq_index = ex_index, ifq_index, None
+            if fetched_index is not None:
+                ifq_index = fetched_index
+        return trace
+
+    def _emit_instruction(
+        self, trace: TestVectorTrace, klass_name: str, rng: random.Random
+    ) -> None:
+        klass = InstructionClass(klass_name)
+        instruction = random_instruction(klass, rng, address_pool=self.address_pool)
+        if klass in (InstructionClass.LD, InstructionClass.SD):
+            # Memory operands use rs=r0 so the effective address is the
+            # immediate -- the generator stays in full control of which
+            # line each access touches.
+            instruction = Instruction(
+                instruction.opcode,
+                rd=instruction.rd,
+                rs=0,
+                imm=rng.choice(self.address_pool),
+            )
+        trace.program.append(instruction)
+
+    def _operand_address(self, trace: TestVectorTrace, index: int) -> Optional[int]:
+        if index is None or index >= len(trace.program):
+            return None
+        instruction = trace.program[index]
+        if instruction.opcode in (Opcode.LW, Opcode.SW):
+            return instruction.imm
+        return None
+
+    def _realize_conflict(
+        self,
+        trace: TestVectorTrace,
+        conflict: bool,
+        mem_index: Optional[int],
+        pending_store_addr: Optional[int],
+        rng: random.Random,
+    ) -> None:
+        """Patch the in-flight load's address to make the abstract conflict
+        choice come true (or stay false) in the RTL."""
+        if mem_index is None or mem_index >= len(trace.program):
+            return
+        load = trace.program[mem_index]
+        if load.opcode is not Opcode.LW:
+            return
+        if conflict:
+            if pending_store_addr is not None:
+                trace.program[mem_index] = Instruction(
+                    Opcode.LW, rd=load.rd, rs=0, imm=pending_store_addr
+                )
+        else:
+            if pending_store_addr is not None and load.imm == pending_store_addr:
+                others = [a for a in self.address_pool if a != pending_store_addr]
+                trace.program[mem_index] = Instruction(
+                    Opcode.LW, rd=load.rd, rs=0, imm=rng.choice(others)
+                )
+
+
+def pp_instruction_cost(
+    model: PPControlModel, graph: StateGraph
+) -> Callable[[Edge], int]:
+    """Instruction cost of traversing one arc: how many instructions the
+    fetch on that transition contributes to the trace file (0 when the
+    cycle fetches nothing -- stalls, refills, bubbles).
+
+    Used as the :class:`~repro.tour.fig33.TourGenerator` cost function so
+    tour statistics count instructions the way Table 3.3 does.
+    """
+    codec = StateCodec(model.state_vars)
+    cache: Dict[Tuple[int, Tuple], int] = {}
+
+    def cost(edge: Edge) -> int:
+        key = (edge.src, edge.condition)
+        if key in cache:
+            return cache[key]
+        state = codec.unpack(graph.state_key(edge.src))
+        choice = dict(zip(model.choice_names, edge.condition))
+        instructions = 0
+        for event in model.transition_events(state, choice):
+            if event[0] == "fetch" and event[2]:
+                instructions += 2 if event[3] else 1
+        cache[key] = instructions
+        return instructions
+
+    return cost

@@ -1,0 +1,110 @@
+"""Tests for graph analysis utilities and the Outbox modularization."""
+
+import pytest
+
+from repro.enumeration import enumerate_states
+from repro.enumeration.analysis import (
+    depth_histogram,
+    depths_from_reset,
+    profile,
+    to_dot,
+)
+from repro.pp.fsm_model import PPModelConfig, build_pp_control_model
+from repro.pp.magic import build_outbox_model
+from repro.smurphi.state import StateCodec
+
+
+@pytest.fixture(scope="module")
+def pp_graph():
+    graph, _ = enumerate_states(build_pp_control_model(PPModelConfig(fill_words=1)))
+    return graph
+
+
+class TestDepths:
+    def test_reset_depth_zero(self, pp_graph):
+        assert depths_from_reset(pp_graph)[0] == 0
+
+    def test_all_states_reachable(self, pp_graph):
+        assert all(d >= 0 for d in depths_from_reset(pp_graph))
+
+    def test_histogram_accounts_for_all_states(self, pp_graph):
+        histogram = depth_histogram(pp_graph)
+        assert sum(histogram.values()) == pp_graph.num_states
+        # Deep states exist: some control configurations need many cycles
+        # of setup -- the corner-case depth random testing must luck into.
+        assert max(histogram) > 5
+
+
+class TestProfile:
+    def test_pp_profile(self, pp_graph):
+        result = profile(pp_graph)
+        assert result.num_states == pp_graph.num_states
+        assert result.max_depth_from_reset >= result.mean_depth_from_reset
+        # The PP control can always drain back to idle/reset.
+        assert result.states_unreturnable_to_reset == 0
+        assert result.reset_in_largest_scc
+        assert "states" in result.summary()
+
+    def test_out_degree_stats(self, pp_graph):
+        result = profile(pp_graph)
+        assert result.max_out_degree >= result.mean_out_degree > 0
+
+
+class TestDot:
+    def test_small_graph_renders(self):
+        graph, _ = enumerate_states(build_outbox_model())
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "->" in dot
+
+    def test_large_graph_refused(self, pp_graph):
+        with pytest.raises(ValueError, match="raise max_states"):
+            to_dot(pp_graph)
+
+
+class TestOutboxModularization:
+    def test_liberal_model_enumerates(self):
+        graph, stats = enumerate_states(build_outbox_model(constrained=False))
+        assert stats.num_states >= 4
+        # The one-bit PP abstraction: exactly two choices.
+        assert graph.choice_names == ["pp_send", "ni_ready"]
+
+    def test_liberal_reaches_backpressure(self):
+        model = build_outbox_model(constrained=False)
+        graph, _ = enumerate_states(model)
+        codec = StateCodec(model.state_vars)
+        queues = {
+            codec.unpack(graph.state_key(i))["q"] for i in range(graph.num_states)
+        }
+        assert "DRAIN" in queues  # sends every cycle overwhelm the queue
+
+    def test_constraint_excludes_liberal_only_behaviour(self):
+        # Section 4's fix: constrain the abstraction using knowledge from
+        # the real unit's enumeration (the PP cannot send back-to-back).
+        liberal_model = build_outbox_model(constrained=False)
+        constrained_model = build_outbox_model(constrained=True)
+        liberal, _ = enumerate_states(liberal_model)
+        constrained, _ = enumerate_states(constrained_model)
+        lib_codec = StateCodec(liberal_model.state_vars)
+        con_codec = StateCodec(constrained_model.state_vars)
+
+        def interface_states(graph, codec):
+            result = set()
+            for i in range(graph.num_states):
+                state = codec.unpack(graph.state_key(i))
+                result.add((state["q"], state["pp_stalled"]))
+            return result
+
+        liberal_view = interface_states(liberal, lib_codec)
+        constrained_view = interface_states(constrained, con_codec)
+        # The constrained environment admits a strict subset of interface
+        # behaviours (it can never hammer a full queue).
+        assert constrained_view <= liberal_view
+        assert ("DRAIN", True) in liberal_view
+        assert ("DRAIN", True) not in constrained_view
+
+    def test_invariant_holds(self):
+        # enumerate_states checks the stall/queue invariant on every state.
+        for constrained in (False, True):
+            graph, _ = enumerate_states(build_outbox_model(constrained))
+            assert graph.num_states > 0

@@ -1,0 +1,119 @@
+"""Tests for the assembler / disassembler."""
+
+import pytest
+
+from repro.pp.asm import AssemblerError, assemble, disassemble
+from repro.pp.isa import Instruction, Opcode
+
+
+class TestAssemble:
+    def test_alu_r_format(self):
+        (ins,) = assemble("add r3, r1, r2")
+        assert ins == Instruction(Opcode.ADD, rd=3, rs=1, rt=2)
+
+    def test_alu_i_format(self):
+        (ins,) = assemble("addi r5, r0, -12")
+        assert ins == Instruction(Opcode.ADDI, rd=5, rs=0, imm=-12)
+
+    def test_memory_operands(self):
+        program = assemble("lw r2, 8(r1)\nsw r2, -4(r3)")
+        assert program[0] == Instruction(Opcode.LW, rd=2, rs=1, imm=8)
+        assert program[1] == Instruction(Opcode.SW, rd=2, rs=3, imm=-4)
+
+    def test_hex_immediates(self):
+        (ins,) = assemble("lw r1, 0x20(r0)")
+        assert ins.imm == 0x20
+
+    def test_switch_send(self):
+        program = assemble("switch r4\nsend r4")
+        assert program[0].opcode is Opcode.SWITCH
+        assert program[1].opcode is Opcode.SEND
+        assert program[0].rd == 4
+
+    def test_nop(self):
+        (ins,) = assemble("nop")
+        assert ins.is_nop()
+
+    def test_comments_and_blank_lines(self):
+        program = assemble(
+            """
+            ; leading comment
+            addi r1, r0, 1   # trailing
+            // another style
+
+            nop
+            """
+        )
+        assert len(program) == 2
+
+    def test_label_backward_branch(self):
+        program = assemble(
+            """
+            loop: addi r1, r1, 1
+                  bne r1, r2, loop
+            """
+        )
+        assert program[1].opcode is Opcode.BNE
+        assert program[1].imm == -2  # pc+1+imm == 0
+
+    def test_label_forward_branch(self):
+        program = assemble(
+            """
+            beq r1, r2, done
+            nop
+            done: nop
+            """
+        )
+        assert program[0].imm == 1
+
+    def test_jump_absolute(self):
+        program = assemble(
+            """
+            j end
+            nop
+            end: nop
+            """
+        )
+        assert program[0].opcode is Opcode.J
+        assert program[0].imm == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown label"):
+            assemble("beq r1, r2, nowhere")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble("add r3, r99, r2")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r3, r1")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nnop\nbogus r1")
+        assert excinfo.value.line_no == 3
+
+
+class TestDisassemble:
+    def test_roundtrip_through_text(self):
+        source = """
+            addi r1, r0, 4
+            lw r2, 16(r1)
+            add r3, r1, r2
+            sw r3, 0(r0)
+            switch r4
+            send r3
+            nop
+        """
+        program = assemble(source)
+        text = "\n".join(disassemble(ins) for ins in program)
+        assert assemble(text) == program

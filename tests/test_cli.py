@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEnumerate:
+    def test_prints_stats(self, capsys):
+        assert main(["enumerate", "--fill-words", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of States" in out
+        assert "1,509" in out
+
+    def test_graph_out(self, tmp_path, capsys):
+        path = tmp_path / "g.json"
+        assert main(["enumerate", "--fill-words", "1", "--graph-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["state_keys"]) == 1509
+
+
+class TestTours:
+    def test_from_fresh_enumeration(self, capsys):
+        assert main(["tours", "--fill-words", "1", "--limit", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage complete: True" in out
+
+    def test_from_saved_graph(self, tmp_path, capsys):
+        path = tmp_path / "g.json"
+        main(["enumerate", "--fill-words", "1", "--graph-out", str(path)])
+        capsys.readouterr()
+        assert main(["tours", "--graph", str(path), "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "traces: " in out
+
+
+class TestValidate:
+    def test_clean_design_exit_zero(self, capsys):
+        assert main(["validate", "--fill-words", "1", "--limit", "300"]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_injected_bug_detected_exit_zero(self, capsys):
+        # Exit 0 means the run matched expectations: bug injected AND found.
+        assert main(
+            ["validate", "--fill-words", "1", "--limit", "300", "--bug", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "injected bug #3" in out
+        assert "DIVERGED" in out
+
+    def test_unknown_bug_rejected(self, capsys):
+        assert main(["validate", "--bug", "99"]) == 2
+
+
+class TestMisc:
+    def test_errata(self, capsys):
+        assert main(["errata"]) == 0
+        assert "56.5%" in capsys.readouterr().out
+
+    def test_translate(self, tmp_path, capsys):
+        source = tmp_path / "d.v"
+        source.write_text(
+            "module m (input clk, input go, output wire busy);\n"
+            "  reg [1:0] n;\n"
+            "  assign busy = n != 0;\n"
+            "  always @(posedge clk) begin\n"
+            "    if (go && n != 3) n <= n + 1;\n"
+            "  end\n"
+            "endmodule\n"
+        )
+        assert main(
+            ["translate", str(source), "--top", "m", "--enumerate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "state variables" in out
+        assert "Number of States" in out
+
+    def test_murphi(self, tmp_path, capsys):
+        source = tmp_path / "m.m"
+        source.write_text(
+            "var n : 0..3;\nchoice en : boolean;\n"
+            "rule begin if en & n < 3 then n' := n + 1; endif; end\n"
+        )
+        assert main(["murphi", str(source)]) == 0
+        assert "Number of States" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Tests for control-state coverage measurement."""
+
+import pytest
+
+from repro.enumeration import enumerate_states
+from repro.harness.coverage import ControlStateObserver, run_with_coverage
+from repro.pp.asm import assemble
+from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.pp.rtl import CoreConfig, NaturalStimulus, PPCore, QueueStimulus
+from repro.pp.rtl.memory import LINE_WORDS
+
+
+@pytest.fixture(scope="module")
+def observer_setup():
+    control = PPControlModel(PPModelConfig(fill_words=LINE_WORDS))
+    graph, _ = enumerate_states(control.build())
+    return control, graph
+
+
+class TestSnapshot:
+    def test_reset_maps_to_model_reset(self, observer_setup):
+        control, graph = observer_setup
+        core = PPCore([], CoreConfig(mem_latency=0), NaturalStimulus())
+        observer = ControlStateObserver(control, graph)
+        snapshot = observer.snapshot(core)
+        assert snapshot == control.build().reset_state()
+
+    def test_reset_state_is_in_graph(self, observer_setup):
+        control, graph = observer_setup
+        core = PPCore([], CoreConfig(mem_latency=0), NaturalStimulus())
+        observer = ControlStateObserver(control, graph)
+        observer.observe(core)
+        assert observer.measurement().visited_states == 1
+
+    def test_load_in_flight_is_seen(self, observer_setup):
+        control, graph = observer_setup
+        program = assemble("lw r1, 0x10(r0)\nnop")
+        core = PPCore(
+            program, CoreConfig(mem_latency=0),
+            QueueStimulus(dcache_hits=[False]),
+        )
+        observer = ControlStateObserver(control, graph)
+        saw_ld = False
+        observer.new_run()
+        while not core.halted:
+            core.step()
+            if observer.snapshot(core)["mem"] == "LD":
+                saw_ld = True
+            observer.observe(core)
+        assert saw_ld
+
+
+class TestMeasurement:
+    def test_simple_run_visits_states_and_arcs(self, observer_setup):
+        control, graph = observer_setup
+        program = assemble(
+            "addi r1, r0, 1\nsw r1, 0x20(r0)\nlw r2, 0x20(r0)\nsend r2"
+        )
+        core = PPCore(
+            program, CoreConfig(mem_latency=0), NaturalStimulus(),
+            inbox_tasks=[1],
+        )
+        observer = ControlStateObserver(control, graph)
+        run_with_coverage(core, observer)
+        measurement = observer.measurement()
+        assert measurement.visited_states > 3
+        assert measurement.visited_arcs > 2
+        assert 0 < measurement.state_coverage < 1
+        assert measurement.observed_cycles == core.cycle + 1
+
+    def test_new_run_breaks_arc_chaining(self, observer_setup):
+        control, graph = observer_setup
+        observer = ControlStateObserver(control, graph)
+        core = PPCore([], CoreConfig(mem_latency=0), NaturalStimulus())
+        observer.observe(core)
+        observer.new_run()
+        observer.observe(core)
+        # Two isolated observations: one state, zero arcs.
+        measurement = observer.measurement()
+        assert measurement.visited_states == 1
+        assert measurement.visited_arcs <= 1
+
+    def test_summary_renders(self, observer_setup):
+        control, graph = observer_setup
+        observer = ControlStateObserver(control, graph)
+        text = observer.measurement().summary()
+        assert "states" in text and "arcs" in text

@@ -1,0 +1,180 @@
+"""Tests for BFS state enumeration and the state graph."""
+
+import pytest
+
+from repro.enumeration import (
+    EnumerationError,
+    InvariantViolation,
+    StateGraph,
+    enumerate_states,
+)
+from repro.smurphi import (
+    BoolType,
+    ChoicePoint,
+    EnumType,
+    RangeType,
+    StateVar,
+    SyncModel,
+)
+
+
+def counter_model(limit=3):
+    """Saturating counter: reachable states 0..limit."""
+    return SyncModel(
+        "counter",
+        state_vars=[StateVar("n", RangeType(0, limit), 0)],
+        choices=[ChoicePoint("en", BoolType())],
+        next_state=lambda s, c: {"n": min(s["n"] + 1, limit) if c["en"] else s["n"]},
+    )
+
+
+def two_fsm_interlock():
+    """Two request/grant FSMs sharing one resource -- models the paper's
+    observation that mutual stalling keeps the product state space small."""
+    fsm = EnumType("fsm", ["IDLE", "WAIT", "BUSY"])
+
+    def nxt(s, c):
+        a, b = s["a"], s["b"]
+        # Only one side may be BUSY at a time; the other waits.
+        if a == "IDLE" and c["req_a"]:
+            a = "WAIT"
+        if b == "IDLE" and c["req_b"]:
+            b = "WAIT"
+        if a == "WAIT" and s["b"] != "BUSY":
+            a = "BUSY"
+        elif b == "WAIT" and s["a"] != "BUSY" and a != "BUSY":
+            b = "BUSY"
+        if s["a"] == "BUSY" and c["done"]:
+            a = "IDLE"
+        if s["b"] == "BUSY" and c["done"]:
+            b = "IDLE"
+        return {"a": a, "b": b}
+
+    return SyncModel(
+        "interlock",
+        state_vars=[StateVar("a", fsm, "IDLE"), StateVar("b", fsm, "IDLE")],
+        choices=[
+            ChoicePoint("req_a", BoolType()),
+            ChoicePoint("req_b", BoolType()),
+            ChoicePoint("done", BoolType()),
+        ],
+        next_state=nxt,
+    )
+
+
+class TestEnumerateStates:
+    def test_counter_reaches_all_values(self):
+        graph, stats = enumerate_states(counter_model(3))
+        assert graph.num_states == 4
+        assert stats.num_states == 4
+        assert stats.bits_per_state == 2
+
+    def test_reset_is_state_zero(self):
+        graph, _ = enumerate_states(counter_model(3))
+        assert graph.state_key(StateGraph.RESET) == 0
+
+    def test_first_condition_dedup(self):
+        # Both en=False and en=True lead 3->3 (saturation); only one arc
+        # between a (src, dst) pair is recorded in first-condition mode.
+        graph, _ = enumerate_states(counter_model(1))
+        arcs = {(e.src, e.dst) for e in graph.edges()}
+        assert len(arcs) == graph.num_edges  # no parallel arcs
+
+    def test_record_all_conditions_keeps_parallel_arcs(self):
+        graph, _ = enumerate_states(counter_model(1), record_all_conditions=True)
+        # state 1 (saturated): both choices self-loop -> two parallel arcs.
+        sat = [e for e in graph.edges() if e.src == e.dst and e.src != 0]
+        assert len(sat) == 2
+        conditions = {e.condition for e in sat}
+        assert conditions == {(False,), (True,)}
+
+    def test_all_conditions_superset_of_first_condition(self):
+        m = two_fsm_interlock()
+        g1, _ = enumerate_states(m)
+        g2, _ = enumerate_states(m, record_all_conditions=True)
+        assert g1.num_states == g2.num_states
+        assert g2.num_edges >= g1.num_edges
+
+    def test_max_states_cap_raises(self):
+        with pytest.raises(EnumerationError):
+            enumerate_states(counter_model(10), max_states=3)
+
+    def test_interlock_prunes_product_space(self):
+        graph, stats = enumerate_states(two_fsm_interlock())
+        # Never both BUSY: fewer than the 9 product states are reachable.
+        assert graph.num_states < 9
+        assert stats.reachable_fraction < 1.0
+
+    def test_invariant_violation_reported_with_state(self):
+        m = SyncModel(
+            "inv",
+            state_vars=[StateVar("n", RangeType(0, 3), 0)],
+            choices=[],
+            next_state=lambda s, c: {"n": min(s["n"] + 1, 3)},
+            invariants={"bounded": lambda s: s["n"] < 2},
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            enumerate_states(m)
+        assert excinfo.value.state == {"n": 2}
+        assert excinfo.value.violated == ("bounded",)
+
+    def test_invariant_check_can_be_disabled(self):
+        m = SyncModel(
+            "inv",
+            state_vars=[StateVar("n", RangeType(0, 3), 0)],
+            choices=[],
+            next_state=lambda s, c: {"n": min(s["n"] + 1, 3)},
+            invariants={"bounded": lambda s: s["n"] < 2},
+        )
+        graph, _ = enumerate_states(m, check_invariants=False)
+        assert graph.num_states == 4
+
+    def test_every_edge_connects_interned_states(self):
+        graph, _ = enumerate_states(two_fsm_interlock())
+        for edge in graph.edges():
+            assert 0 <= edge.src < graph.num_states
+            assert 0 <= edge.dst < graph.num_states
+
+    def test_condition_layout_matches_choice_names(self):
+        m = counter_model(2)
+        graph, _ = enumerate_states(m)
+        for edge in graph.edges():
+            cond = graph.condition_as_dict(edge)
+            assert set(cond) == {"en"}
+
+    def test_deterministic_across_runs(self):
+        m = two_fsm_interlock()
+        g1, _ = enumerate_states(m)
+        g2, _ = enumerate_states(m)
+        assert g1.num_states == g2.num_states
+        assert [
+            (e.src, e.dst, e.condition) for e in g1.edges()
+        ] == [(e.src, e.dst, e.condition) for e in g2.edges()]
+
+
+class TestStateGraph:
+    def test_json_roundtrip(self):
+        graph, _ = enumerate_states(two_fsm_interlock())
+        clone = StateGraph.from_json(graph.to_json())
+        assert clone.num_states == graph.num_states
+        assert clone.num_edges == graph.num_edges
+        assert [
+            (e.src, e.dst, tuple(e.condition)) for e in clone.edges()
+        ] == [(e.src, e.dst, e.condition) for e in graph.edges()]
+
+    def test_out_edges_and_successors(self):
+        graph, _ = enumerate_states(counter_model(2))
+        succ = set(graph.successors(0))
+        assert succ == {0, 1}
+        assert graph.has_edge_between(0, 1)
+        assert not graph.has_edge_between(0, 2)
+
+    def test_in_degrees_sum_to_edge_count(self):
+        graph, _ = enumerate_states(two_fsm_interlock())
+        assert sum(graph.in_degrees()) == graph.num_edges
+
+    def test_stats_table_formatting(self):
+        _, stats = enumerate_states(counter_model(2))
+        text = stats.format_table()
+        assert "Number of States" in text
+        assert "Number of Edges in State Graph" in text

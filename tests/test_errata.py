@@ -1,0 +1,84 @@
+"""Tests for the R4000 errata study (Table 1.1)."""
+
+from repro.errata import (
+    BugClass,
+    R4000_ERRATA,
+    classification_breakdown,
+    classify,
+)
+from repro.errata.classify import format_table
+from repro.errata.dataset import Erratum
+
+
+class TestDataset:
+    def test_46_errata(self):
+        assert len(R4000_ERRATA) == 46
+
+    def test_numbers_unique_and_dense(self):
+        numbers = [e.number for e in R4000_ERRATA]
+        assert numbers == list(range(1, 47))
+
+    def test_all_have_units(self):
+        for erratum in R4000_ERRATA:
+            assert erratum.units
+            assert erratum.events >= 1
+
+    def test_papers_example_bug_present(self):
+        # The R4000 load-miss + jump-delay-slot-on-unmapped-page bug from
+        # the paper's introduction.
+        entry = next(e for e in R4000_ERRATA if e.number == 21)
+        assert "TLB" in entry.summary or "tlb" in entry.units
+
+
+class TestClassifier:
+    def test_datapath_only(self):
+        e = Erratum(0, "x", ("fpu",), 1, control=False)
+        assert classify(e) is BugClass.DATAPATH_ONLY
+
+    def test_single_control(self):
+        e = Erratum(0, "x", ("dcache",), 1, control=True)
+        assert classify(e) is BugClass.SINGLE_CONTROL
+
+    def test_multiple_units_is_multiple_event(self):
+        e = Erratum(0, "x", ("dcache", "tlb"), 1, control=True)
+        assert classify(e) is BugClass.MULTIPLE_EVENT
+
+    def test_multiple_events_single_unit_is_multiple_event(self):
+        e = Erratum(0, "x", ("dcache",), 2, control=True)
+        assert classify(e) is BugClass.MULTIPLE_EVENT
+
+
+class TestTable11:
+    def test_breakdown_matches_paper(self):
+        rows = dict(
+            (bug_class, count)
+            for bug_class, count, _ in classification_breakdown()
+        )
+        # Table 1.1: 3 / 17 / 26 of 46.
+        assert rows[BugClass.DATAPATH_ONLY] == 3
+        assert rows[BugClass.SINGLE_CONTROL] == 17
+        assert rows[BugClass.MULTIPLE_EVENT] == 26
+
+    def test_percentages_match_paper(self):
+        rows = {
+            bug_class: percent
+            for bug_class, _, percent in classification_breakdown()
+        }
+        assert round(rows[BugClass.DATAPATH_ONLY], 1) == 6.5
+        assert round(rows[BugClass.SINGLE_CONTROL], 1) == 37.0
+        assert round(rows[BugClass.MULTIPLE_EVENT], 1) == 56.5
+
+    def test_majority_are_multiple_event(self):
+        rows = dict(
+            (bug_class, count)
+            for bug_class, count, _ in classification_breakdown()
+        )
+        assert rows[BugClass.MULTIPLE_EVENT] > sum(
+            v for k, v in rows.items() if k is not BugClass.MULTIPLE_EVENT
+        )
+
+    def test_table_renders(self):
+        text = format_table()
+        assert "Multiple Event Bugs" in text
+        assert "46" in text
+        assert "56.5%" in text

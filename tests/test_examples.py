@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs to completion and prints the
+landmarks its docstring promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=True,
+    ).stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "step 1" in out and "step 4" in out
+        assert "no divergence" in out
+
+    def test_bug5_timing(self):
+        out = run_example("bug5_timing.py")
+        assert "Fig 2.3" in out and "Fig 2.2" in out
+        assert "Z GARBAGE" in out
+        assert "correct" in out
+
+    def test_errata_study(self):
+        out = run_example("errata_study.py")
+        assert "56.5%" in out
+        assert "multiple-event errata" in out
+
+    def test_translate_your_verilog(self):
+        out = run_example("translate_your_verilog.py")
+        assert "reachable states" in out
+        assert "coverage complete: True" in out
+
+    def test_bug_hunt(self):
+        out = run_example("bug_hunt.py", "3")
+        assert "hunting bug #3" in out
+        assert "generated:  FOUND" in out

@@ -1,0 +1,192 @@
+"""Tests for the PP control FSM model (Fig. 3.2) and its enumeration."""
+
+import pytest
+
+from repro.enumeration import enumerate_states
+from repro.pp.fsm_model import (
+    PIPE_CLASSES,
+    PPControlModel,
+    PPModelConfig,
+    build_pp_control_model,
+)
+from repro.smurphi.state import StateCodec
+
+
+@pytest.fixture(scope="module")
+def small():
+    control = PPControlModel(PPModelConfig(fill_words=1))
+    model = control.build()
+    graph, stats = enumerate_states(model)
+    return control, model, graph, stats
+
+
+class TestConfig:
+    def test_fill_words_validated(self):
+        with pytest.raises(ValueError):
+            PPModelConfig(fill_words=0)
+
+    def test_extra_stages_validated(self):
+        with pytest.raises(ValueError):
+            PPModelConfig(extra_pipe_stages=5)
+
+
+class TestStructure:
+    def test_fig_3_2_machines_present(self, small):
+        _, model, _, _ = small
+        names = set(model.state_var_names)
+        # The FSMs of Fig. 3.2: I-refill, D-refill, fill/spill, split-store
+        # pending (conflict), plus the abstract pipeline registers.
+        assert {"irefill", "drefill", "spill", "st_pend", "ifq", "ex", "mem"} <= names
+
+    def test_abstract_inputs_are_choices(self, small):
+        _, model, _, _ = small
+        names = set(model.choice_names)
+        assert {
+            "fetch_class", "i_hit", "d_hit", "conflict",
+            "victim_dirty", "inbox_ready", "outbox_ready", "mem_word",
+        } <= names
+
+    def test_pipe_classes_are_table_3_1_plus_bubble(self):
+        assert set(PIPE_CLASSES) == {"BUBBLE", "ALU", "LD", "SD", "SWITCH", "SEND"}
+
+    def test_reset_state_is_all_idle(self, small):
+        _, model, _, _ = small
+        reset = model.reset_state()
+        assert reset["irefill"] == "IDLE"
+        assert reset["drefill"] == "IDLE"
+        assert reset["mem"] == "BUBBLE"
+
+
+class TestEnumeration:
+    def test_reachable_states_far_below_product_space(self, small):
+        # The paper's key observation (section 3.2): mutual interlocks keep
+        # the reachable set tiny relative to 2^bits.
+        _, _, _, stats = small
+        assert stats.num_states < 2 ** stats.bits_per_state * 0.25
+        assert stats.num_states > 500
+
+    def test_invariants_hold_on_all_reachable_states(self, small):
+        # enumerate_states checks invariants; reaching here means they held.
+        _, _, graph, _ = small
+        assert graph.num_states > 0
+
+    def test_state_count_grows_with_fill_words(self):
+        small_graph, _ = enumerate_states(build_pp_control_model(PPModelConfig(1)))
+        big_graph, _ = enumerate_states(build_pp_control_model(PPModelConfig(3)))
+        assert big_graph.num_states > small_graph.num_states
+
+    def test_state_count_grows_with_pipe_stages(self):
+        base, _ = enumerate_states(build_pp_control_model(PPModelConfig(1)))
+        deep, _ = enumerate_states(
+            build_pp_control_model(PPModelConfig(1, extra_pipe_stages=1))
+        )
+        assert deep.num_states > 2 * base.num_states
+
+    def test_dual_issue_choice_is_control_neutral(self):
+        plain, _ = enumerate_states(build_pp_control_model(PPModelConfig(1)))
+        dual, _ = enumerate_states(
+            build_pp_control_model(PPModelConfig(1, model_dual_issue=True))
+        )
+        assert plain.num_states == dual.num_states
+
+    def test_deterministic(self):
+        g1, _ = enumerate_states(build_pp_control_model(PPModelConfig(1)))
+        g2, _ = enumerate_states(build_pp_control_model(PPModelConfig(1)))
+        assert g1.num_edges == g2.num_edges
+
+
+class TestTransitionEvents:
+    def test_fetch_event_on_reset(self, small):
+        control, model, _, _ = small
+        reset = model.reset_state()
+        choice = {
+            "fetch_class": "LD", "i_hit": True, "d_hit": True,
+            "conflict": False, "victim_dirty": False,
+            "inbox_ready": True, "outbox_ready": True, "mem_word": True,
+        }
+        events = control.transition_events(reset, choice)
+        assert ("fetch", "LD", True, False) in events
+
+    def test_imiss_starts_refill(self, small):
+        control, model, _, _ = small
+        reset = model.reset_state()
+        choice = {
+            "fetch_class": "ALU", "i_hit": False, "d_hit": True,
+            "conflict": False, "victim_dirty": False,
+            "inbox_ready": True, "outbox_ready": True, "mem_word": True,
+        }
+        nxt = control.step(reset, choice)
+        assert nxt["irefill"] == "REQ"
+        assert nxt["ifq"] == "BUBBLE"
+
+    def test_load_flows_to_mem_and_probes(self, small):
+        control, model, _, _ = small
+        state = model.reset_state()
+        base_choice = {
+            "fetch_class": "ALU", "i_hit": True, "d_hit": True,
+            "conflict": False, "victim_dirty": False,
+            "inbox_ready": True, "outbox_ready": True, "mem_word": True,
+        }
+        # Fetch an LD, then ALUs behind it; after 3 advances it is in MEM.
+        state = control.step(state, dict(base_choice, fetch_class="LD"))
+        state = control.step(state, base_choice)
+        state = control.step(state, base_choice)
+        assert state["mem"] == "LD"
+        events = control.transition_events(state, base_choice)
+        assert ("d_probe", True) in events
+
+    def test_dmiss_occupies_port_and_restarts_on_critical(self, small):
+        control, model, _, _ = small
+        base = {
+            "fetch_class": "ALU", "i_hit": True, "d_hit": True,
+            "conflict": False, "victim_dirty": False,
+            "inbox_ready": True, "outbox_ready": True, "mem_word": True,
+        }
+        state = model.reset_state()
+        state = control.step(state, dict(base, fetch_class="LD"))
+        state = control.step(state, base)
+        state = control.step(state, base)
+        assert state["mem"] == "LD"
+        state = control.step(state, dict(base, d_hit=False))
+        assert state["drefill"] == "REQ"
+        assert state["miss_owner"] == "LOAD"
+        state = control.step(state, base)   # grant
+        assert state["drefill"] == "FILL_CRIT"
+        state = control.step(state, base)   # critical word (fill_words=1)
+        assert state["drefill"] == "IDLE"
+        assert state["miss_owner"] == "NONE"
+        assert state["mem"] != "LD" or state["ex"] == "BUBBLE"
+
+    def test_switch_stalls_until_ready(self, small):
+        control, model, _, _ = small
+        base = {
+            "fetch_class": "ALU", "i_hit": True, "d_hit": True,
+            "conflict": False, "victim_dirty": False,
+            "inbox_ready": True, "outbox_ready": True, "mem_word": True,
+        }
+        state = model.reset_state()
+        state = control.step(state, dict(base, fetch_class="SWITCH"))
+        state = control.step(state, base)
+        state = control.step(state, base)
+        assert state["mem"] == "SWITCH"
+        held = control.step(state, dict(base, inbox_ready=False))
+        assert held["mem"] == "SWITCH"  # external stall holds the pipe
+        released = control.step(state, dict(base, inbox_ready=True))
+        assert released["mem"] != "SWITCH" or released["ex"] == "BUBBLE"
+
+    def test_conflict_drains_pending_store(self, small):
+        control, model, _, _ = small
+        base = {
+            "fetch_class": "ALU", "i_hit": True, "d_hit": True,
+            "conflict": False, "victim_dirty": False,
+            "inbox_ready": True, "outbox_ready": True, "mem_word": True,
+        }
+        state = model.reset_state()
+        state["mem"] = "LD"
+        state["st_pend"] = True
+        model.validate_state(state)
+        events = control.transition_events(state, dict(base, conflict=True))
+        assert ("conflict", True) in events
+        nxt = control.step(state, dict(base, conflict=True))
+        assert nxt["st_pend"] is False
+        assert nxt["mem"] == "LD"  # stalled this cycle, retries next

@@ -1,0 +1,183 @@
+"""Tests for the Verilog-subset lexer and parser."""
+
+import pytest
+
+from repro.hdl import LexError, ParseError, ast, parse, tokenize
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        tokens = tokenize("module foo; endmodule")
+        assert [t.kind for t in tokens] == ["KW", "ID", "OP", "KW"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3'd5 8'hFF 4'b1010")
+        assert [t.value for t in tokens] == [
+            (42, None), (5, 3), (255, 8), (10, 4)
+        ]
+
+    def test_underscores_in_numbers(self):
+        (token,) = tokenize("32'h dead_beef".replace(" ", " "))
+        assert token.value == (0xDEADBEEF, 32)
+
+    def test_x_literals_rejected(self):
+        with pytest.raises(LexError, match="x/z"):
+            tokenize("4'bxxxx")
+
+    def test_line_comments_stripped(self):
+        tokens = tokenize("wire a; // a comment with module keyword")
+        assert len(tokens) == 3
+
+    def test_single_line_block_comment(self):
+        tokens = tokenize("wire /* hidden */ a;")
+        assert [t.value for t in tokens] == ["wire", "a", ";"]
+
+    def test_multiline_block_comment_rejected(self):
+        with pytest.raises(LexError, match="multi-line"):
+            tokenize("wire a; /* starts here")
+
+    def test_translate_off_on(self):
+        tokens = tokenize(
+            "wire a;\n// translate_off\n$display(oops)\n// translate_on\nwire b;"
+        )
+        values = [t.value for t in tokens]
+        assert "a" in values and "b" in values
+        assert "display" not in values
+
+    def test_directive_token(self):
+        tokens = tokenize("// @state\nreg q;")
+        assert tokens[0].kind == "DIRECTIVE"
+        assert tokens[0].value == ("state", None)
+
+    def test_directive_with_argument(self):
+        tokens = tokenize("// @reset 5\nreg [2:0] q;")
+        assert tokens[0].value == ("reset", "5")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("wire `a;")
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <= b == c")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["<=", "=="]
+
+
+MINI = """
+module mini (
+  input clk,
+  input go,
+  output reg [1:0] state
+);
+  localparam IDLE = 0, RUN = 1;
+  wire busy = state != IDLE;
+  always @(posedge clk) begin
+    case (state)
+      IDLE: if (go) state <= RUN;
+      RUN: state <= IDLE;
+      default: state <= IDLE;
+    endcase
+  end
+endmodule
+"""
+
+
+class TestParser:
+    def test_module_structure(self):
+        design = parse(MINI)
+        module = design.module("mini")
+        assert module.ports == ["clk", "go", "state"]
+        assert module.nets["state"].width == 2
+        assert module.nets["state"].direction == "output"
+        assert module.parameters == {"IDLE": 0, "RUN": 1}
+        assert len(module.assigns) == 1
+        assert len(module.always_blocks) == 1
+        assert module.always_blocks[0].clocked
+
+    def test_case_parsed(self):
+        design = parse(MINI)
+        block = design.module("mini").always_blocks[0]
+        case = block.body[0]
+        assert isinstance(case, ast.Case)
+        assert len(case.items) == 3
+        assert case.items[-1][0] is None  # default
+
+    def test_state_annotation_attaches(self):
+        design = parse(
+            "module m (input clk);\n// @state\n// @reset 2\nreg [1:0] q;\n"
+            "always @(posedge clk) q <= q + 1;\nendmodule"
+        )
+        net = design.module("m").nets["q"]
+        assert net.is_state_annotated
+        assert net.reset_value == 2
+
+    def test_comb_block(self):
+        design = parse(
+            "module m (input a, output reg b);\n"
+            "always @(*) begin b = !a; end\nendmodule"
+        )
+        assert not design.module("m").always_blocks[0].clocked
+
+    def test_ternary_and_precedence(self):
+        design = parse(
+            "module m (input a, input b, output wire c);\n"
+            "assign c = a && b ? a | b : a ^ b;\nendmodule"
+        )
+        expr = design.module("m").assigns[0].value
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.condition, ast.Binary)
+        assert expr.condition.op == "&&"
+
+    def test_bit_select(self):
+        design = parse(
+            "module m (input [3:0] v, output wire b);\nassign b = v[2];\nendmodule"
+        )
+        expr = design.module("m").assigns[0].value
+        assert isinstance(expr, ast.Index)
+        assert expr.base == "v"
+
+    def test_instance_parsed(self):
+        design = parse(
+            "module child (input clk, input x, output wire y);\n"
+            "assign y = x;\nendmodule\n"
+            "module top (input clk, input a, output wire b);\n"
+            "child u0 (.clk(clk), .x(a), .y(b));\nendmodule"
+        )
+        (instance,) = design.module("top").instances
+        assert instance.module == "child"
+        assert set(instance.connections) == {"clk", "x", "y"}
+
+    def test_inout_rejected(self):
+        with pytest.raises(ParseError, match="inout"):
+            parse("module m (inout x); endmodule")
+
+    def test_non_ansi_ports_rejected(self):
+        with pytest.raises(ParseError, match="ANSI"):
+            parse("module m (a);\ninput a;\nendmodule")
+
+    def test_negedge_rejected(self):
+        with pytest.raises(ParseError, match="negedge"):
+            parse(
+                "module m (input clk, output reg q);\n"
+                "always @(negedge clk) q <= 1;\nendmodule"
+            )
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(ParseError, match="duplicate module"):
+            parse("module m (input clk); endmodule\nmodule m (input clk); endmodule")
+
+    def test_duplicate_net_rejected(self):
+        with pytest.raises(ParseError, match="duplicate net"):
+            parse("module m (input clk);\nwire a;\nwire a;\nendmodule")
+
+    def test_sensitivity_list_rejected(self):
+        with pytest.raises(ParseError, match="sensitivity"):
+            parse(
+                "module m (input a, output reg b);\n"
+                "always @(a) b = a;\nendmodule"
+            )
+
+    def test_parse_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("module m (input clk);\nwire a = ;\nendmodule")
+        assert excinfo.value.line == 2

@@ -1,0 +1,82 @@
+"""Integration tests: the full Fig. 3.1 pipeline, end to end.
+
+These are the repository's headline checks:
+
+1. **Soundness** -- replaying every generated trace on the bug-free RTL
+   produces zero architectural divergence (forced control outcomes are
+   data-silent).
+2. **Effectiveness** -- with each Table 2.1 bug injected, at least one
+   generated trace exposes it.
+"""
+
+import pytest
+
+from repro.bugs import ALL_BUG_IDS, injected_config
+from repro.core import ValidationPipeline
+from repro.harness.compare import run_vector_trace
+from repro.pp.fsm_model import PPModelConfig
+from repro.pp.rtl.core import CoreConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    p = ValidationPipeline(
+        model_config=PPModelConfig(fill_words=2),
+        max_instructions_per_trace=400,
+        seed=7,
+    )
+    p.build()
+    return p
+
+
+class TestPipelineArtifacts:
+    def test_graph_is_nontrivial(self, pipeline):
+        assert pipeline.artifacts.graph.num_states > 1000
+        assert pipeline.artifacts.graph.num_edges > 5000
+
+    def test_tours_cover_every_arc(self, pipeline):
+        assert pipeline.artifacts.tours.complete
+
+    def test_traces_generated_for_every_tour(self, pipeline):
+        assert pipeline.artifacts.traces.num_traces == len(pipeline.artifacts.tours.tours)
+
+
+class TestSoundness:
+    def test_bug_free_design_has_no_divergence(self, pipeline):
+        report = pipeline.validate(stop_on_divergence=False)
+        assert report.clean, report.summary()
+        assert report.traces_run == pipeline.artifacts.traces.num_traces
+
+    def test_report_summary_mentions_clean(self, pipeline):
+        report = pipeline.validate()
+        assert "no divergence" in report.summary()
+
+
+class TestEffectiveness:
+    @pytest.mark.parametrize("bug_id", ALL_BUG_IDS)
+    def test_generated_vectors_detect_each_bug(self, pipeline, bug_id):
+        config = injected_config(bug_id)
+        detected = False
+        for trace in pipeline.artifacts.traces:
+            result = run_vector_trace(trace, config=config)
+            if result.diverged:
+                detected = True
+                break
+        assert detected, f"bug {bug_id} escaped the generated vectors"
+
+    def test_validation_report_flags_buggy_design(self, pipeline):
+        report = pipeline.validate(config=injected_config(2))
+        assert not report.clean
+        assert "DIVERGED" in report.summary() or "diverging" in report.summary()
+
+
+class TestAllConditionsMode:
+    def test_all_conditions_produces_superset_graph(self):
+        first = ValidationPipeline(model_config=PPModelConfig(fill_words=1))
+        first.build()
+        fixed = ValidationPipeline(
+            model_config=PPModelConfig(fill_words=1), record_all_conditions=True
+        )
+        fixed.build()
+        assert fixed.artifacts.graph.num_states == first.artifacts.graph.num_states
+        assert fixed.artifacts.graph.num_edges > first.artifacts.graph.num_edges

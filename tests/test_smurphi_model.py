@@ -1,0 +1,195 @@
+"""Unit tests for SyncModel semantics: declarations, stepping, choices."""
+
+import pytest
+
+from repro.smurphi import (
+    BoolType,
+    ChoicePoint,
+    EnumType,
+    ModelError,
+    RangeType,
+    StateVar,
+    SyncModel,
+)
+
+
+def make_counter(width=3):
+    """A saturating counter with an enable choice -- a minimal model."""
+    return SyncModel(
+        "counter",
+        state_vars=[StateVar("n", RangeType(0, width), 0)],
+        choices=[ChoicePoint("en", BoolType())],
+        next_state=lambda s, c: {"n": min(s["n"] + 1, width) if c["en"] else s["n"]},
+    )
+
+
+class TestDeclarations:
+    def test_duplicate_state_names_rejected(self):
+        with pytest.raises(ModelError):
+            SyncModel(
+                "m",
+                state_vars=[
+                    StateVar("x", BoolType(), False),
+                    StateVar("x", BoolType(), False),
+                ],
+                choices=[],
+                next_state=lambda s, c: dict(s),
+            )
+
+    def test_duplicate_choice_names_rejected(self):
+        with pytest.raises(ModelError):
+            SyncModel(
+                "m",
+                state_vars=[StateVar("x", BoolType(), False)],
+                choices=[ChoicePoint("c", BoolType()), ChoicePoint("c", BoolType())],
+                next_state=lambda s, c: dict(s),
+            )
+
+    def test_state_choice_name_collision_rejected(self):
+        with pytest.raises(ModelError):
+            SyncModel(
+                "m",
+                state_vars=[StateVar("x", BoolType(), False)],
+                choices=[ChoicePoint("x", BoolType())],
+                next_state=lambda s, c: dict(s),
+            )
+
+    def test_out_of_domain_reset_rejected(self):
+        with pytest.raises(ModelError):
+            StateVar("x", RangeType(0, 3), 4)
+
+    def test_state_bits_sums_widths(self):
+        m = SyncModel(
+            "m",
+            state_vars=[
+                StateVar("a", BoolType(), False),
+                StateVar("b", RangeType(0, 6), 0),
+                StateVar("c", EnumType("e", ["X", "Y", "Z"]), "X"),
+            ],
+            choices=[],
+            next_state=lambda s, c: dict(s),
+        )
+        assert m.state_bits() == 1 + 3 + 2
+
+
+class TestStep:
+    def test_step_advances(self):
+        m = make_counter()
+        s = m.reset_state()
+        s = m.step(s, {"en": True})
+        assert s == {"n": 1}
+        s = m.step(s, {"en": False})
+        assert s == {"n": 1}
+
+    def test_step_does_not_mutate_input(self):
+        m = make_counter()
+        s = {"n": 0}
+        m.step(s, {"en": True})
+        assert s == {"n": 0}
+
+    def test_missing_assignment_rejected(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("x", BoolType(), False)],
+            choices=[],
+            next_state=lambda s, c: {},
+        )
+        with pytest.raises(ModelError, match="did not assign"):
+            m.step(m.reset_state(), {})
+
+    def test_out_of_domain_assignment_rejected(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("x", RangeType(0, 1), 0)],
+            choices=[],
+            next_state=lambda s, c: {"x": 5},
+        )
+        with pytest.raises(ModelError, match="out-of-domain"):
+            m.step(m.reset_state(), {})
+
+    def test_undeclared_assignment_rejected(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("x", BoolType(), False)],
+            choices=[],
+            next_state=lambda s, c: {"x": False, "ghost": 1},
+        )
+        with pytest.raises(ModelError, match="undeclared"):
+            m.step(m.reset_state(), {})
+
+    def test_validate_state_rejects_missing_and_extra(self):
+        m = make_counter()
+        with pytest.raises(ModelError):
+            m.validate_state({})
+        with pytest.raises(ModelError):
+            m.validate_state({"n": 0, "zz": 1})
+
+
+class TestChoices:
+    def test_enumerates_full_product(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("x", BoolType(), False)],
+            choices=[ChoicePoint("a", BoolType()), ChoicePoint("b", RangeType(0, 2))],
+            next_state=lambda s, c: dict(s),
+        )
+        combos = list(m.enumerate_choices(m.reset_state()))
+        assert len(combos) == 2 * 3
+        assert {(c["a"], c["b"]) for c in combos} == {
+            (a, b) for a in (False, True) for b in (0, 1, 2)
+        }
+
+    def test_guard_pins_inactive_choice(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("busy", BoolType(), False)],
+            choices=[
+                ChoicePoint("done", BoolType(), guard=lambda s: s["busy"]),
+            ],
+            next_state=lambda s, c: {"busy": not s["busy"]},
+        )
+        at_reset = list(m.enumerate_choices({"busy": False}))
+        assert at_reset == [{"done": False}]
+        when_busy = list(m.enumerate_choices({"busy": True}))
+        assert len(when_busy) == 2
+
+    def test_no_choices_yields_single_empty(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("x", BoolType(), False)],
+            choices=[],
+            next_state=lambda s, c: dict(s),
+        )
+        assert list(m.enumerate_choices(m.reset_state())) == [{}]
+
+    def test_custom_inactive_value(self):
+        cp = ChoicePoint(
+            "lat", RangeType(1, 4), guard=lambda s: False, inactive_value=2
+        )
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("x", BoolType(), False)],
+            choices=[cp],
+            next_state=lambda s, c: dict(s),
+        )
+        assert list(m.enumerate_choices(m.reset_state())) == [{"lat": 2}]
+
+    def test_inactive_value_must_be_in_domain(self):
+        with pytest.raises(ModelError):
+            ChoicePoint("c", RangeType(0, 1), inactive_value=9)
+
+
+class TestInvariants:
+    def test_violations_reported_by_name(self):
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("n", RangeType(0, 4), 0)],
+            choices=[],
+            next_state=lambda s, c: dict(s),
+            invariants={
+                "small": lambda s: s["n"] < 3,
+                "nonneg": lambda s: s["n"] >= 0,
+            },
+        )
+        assert m.check_invariants({"n": 1}) == []
+        assert m.check_invariants({"n": 3}) == ["small"]

@@ -1,0 +1,101 @@
+"""Unit tests for the finite type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smurphi import BoolType, EnumType, RangeType
+
+
+class TestBoolType:
+    def test_values(self):
+        assert BoolType().values() == (False, True)
+
+    def test_bit_width(self):
+        assert BoolType().bit_width() == 1
+
+    def test_cardinality(self):
+        assert BoolType().cardinality() == 2
+
+    def test_index_roundtrip(self):
+        t = BoolType()
+        assert t.value_at(t.index_of(True)) is True
+        assert t.value_at(t.index_of(False)) is False
+
+    def test_equality(self):
+        assert BoolType() == BoolType()
+        assert hash(BoolType()) == hash(BoolType())
+
+
+class TestEnumType:
+    def test_members(self):
+        t = EnumType("fsm", ["IDLE", "REQ", "FILL"])
+        assert t.values() == ("IDLE", "REQ", "FILL")
+        assert t.cardinality() == 3
+
+    def test_bit_width_rounds_up(self):
+        assert EnumType("e", ["A", "B", "C"]).bit_width() == 2
+        assert EnumType("e", ["A", "B", "C", "D"]).bit_width() == 2
+        assert EnumType("e", ["A", "B", "C", "D", "E"]).bit_width() == 3
+
+    def test_singleton_has_zero_width(self):
+        assert EnumType("e", ["ONLY"]).bit_width() == 0
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(ValueError):
+            EnumType("e", [])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            EnumType("e", ["A", "A"])
+
+    def test_contains(self):
+        t = EnumType("e", ["A", "B"])
+        assert t.contains("A")
+        assert not t.contains("C")
+
+    def test_index_roundtrip(self):
+        t = EnumType("e", ["A", "B", "C"])
+        for member in t.values():
+            assert t.value_at(t.index_of(member)) == member
+
+    def test_equality_by_structure(self):
+        assert EnumType("e", ["A"]) == EnumType("e", ["A"])
+        assert EnumType("e", ["A"]) != EnumType("f", ["A"])
+        assert EnumType("e", ["A"]) != EnumType("e", ["B"])
+
+
+class TestRangeType:
+    def test_values(self):
+        assert RangeType(0, 3).values() == (0, 1, 2, 3)
+
+    def test_nonzero_lo(self):
+        t = RangeType(2, 5)
+        assert t.values() == (2, 3, 4, 5)
+        assert t.index_of(2) == 0
+        assert t.value_at(3) == 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeType(3, 2)
+
+    def test_singleton_range(self):
+        t = RangeType(7, 7)
+        assert t.bit_width() == 0
+        assert t.values() == (7,)
+
+    def test_index_of_out_of_range_raises(self):
+        with pytest.raises(KeyError):
+            RangeType(0, 3).index_of(4)
+
+    @given(st.integers(-50, 50), st.integers(0, 50))
+    def test_roundtrip_property(self, lo, span):
+        t = RangeType(lo, lo + span)
+        for v in t.values():
+            assert t.value_at(t.index_of(v)) == v
+
+    @given(st.integers(0, 60))
+    def test_bit_width_bounds_cardinality(self, span):
+        t = RangeType(0, span)
+        assert t.cardinality() <= 2 ** t.bit_width()
+        if t.bit_width() > 0:
+            assert t.cardinality() > 2 ** (t.bit_width() - 1)

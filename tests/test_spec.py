@@ -1,0 +1,157 @@
+"""Tests for the instruction-level executable specification."""
+
+import pytest
+
+from repro.pp.asm import assemble
+from repro.pp.isa import Instruction, Opcode
+from repro.pp.spec import ArchState, SpecSimulator
+
+
+def run(source, inbox=None):
+    sim = SpecSimulator(inbox=inbox)
+    sim.run(assemble(source))
+    return sim
+
+
+class TestAluSemantics:
+    def test_add_sub(self):
+        sim = run("addi r1, r0, 10\naddi r2, r0, 3\nadd r3, r1, r2\nsub r4, r1, r2")
+        assert sim.state.regs[3] == 13
+        assert sim.state.regs[4] == 7
+
+    def test_wraparound(self):
+        sim = run("addi r1, r0, -1\nadd r2, r1, r1")
+        assert sim.state.regs[1] == 0xFFFFFFFF
+        assert sim.state.regs[2] == 0xFFFFFFFE
+
+    def test_logic_ops(self):
+        sim = run(
+            "addi r1, r0, 0xFF\naddi r2, r0, 0x0F\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2"
+        )
+        assert sim.state.regs[3] == 0x0F
+        assert sim.state.regs[4] == 0xFF
+        assert sim.state.regs[5] == 0xF0
+
+    def test_shifts(self):
+        sim = run("addi r1, r0, 1\naddi r2, r0, 4\nsll r3, r1, r2\nsrl r4, r3, r2")
+        assert sim.state.regs[3] == 16
+        assert sim.state.regs[4] == 1
+
+    def test_slt_signed(self):
+        sim = run("addi r1, r0, -5\naddi r2, r0, 3\nslt r3, r1, r2\nslt r4, r2, r1")
+        assert sim.state.regs[3] == 1
+        assert sim.state.regs[4] == 0
+
+    def test_lui(self):
+        sim = run("lui r1, r0, 0x1234")
+        assert sim.state.regs[1] == 0x12340000
+
+    def test_r0_hardwired(self):
+        sim = run("addi r0, r0, 99\nadd r1, r0, r0")
+        assert sim.state.regs[0] == 0
+        assert sim.state.regs[1] == 0
+
+
+class TestMemory:
+    def test_store_load(self):
+        sim = run("addi r1, r0, 42\nsw r1, 0x40(r0)\nlw r2, 0x40(r0)")
+        assert sim.state.regs[2] == 42
+        assert sim.state.memory[0x40] == 42
+
+    def test_uninitialized_memory_reads_zero(self):
+        sim = run("lw r1, 0x80(r0)")
+        assert sim.state.regs[1] == 0
+
+    def test_addresses_word_aligned(self):
+        state = ArchState()
+        state.write_mem(0x43, 7)
+        assert state.read_mem(0x40) == 7
+
+
+class TestMagicExtensions:
+    def test_switch_consumes_inbox(self):
+        sim = run("switch r1\nswitch r2", inbox=[11, 22])
+        assert sim.state.regs[1] == 11
+        assert sim.state.regs[2] == 22
+
+    def test_switch_idle_task_when_empty(self):
+        sim = run("switch r1", inbox=[])
+        assert sim.state.regs[1] == 0
+
+    def test_send_appends_outbox(self):
+        sim = run("addi r1, r0, 7\nsend r1\naddi r1, r0, 9\nsend r1")
+        assert sim.state.outbox == [7, 9]
+
+
+class TestControlFlow:
+    def test_loop(self):
+        sim = SpecSimulator()
+        program = assemble(
+            """
+            addi r2, r0, 5
+            loop: addi r1, r1, 1
+            bne r1, r2, loop
+            addi r3, r0, 1
+            """
+        )
+        sim.run_with_control_flow(program)
+        assert sim.state.regs[1] == 5
+        assert sim.state.regs[3] == 1
+
+    def test_jump(self):
+        sim = SpecSimulator()
+        program = assemble("j skip\naddi r1, r0, 1\nskip: addi r2, r0, 2")
+        sim.run_with_control_flow(program)
+        assert sim.state.regs[1] == 0
+        assert sim.state.regs[2] == 2
+
+    def test_runaway_loop_detected(self):
+        sim = SpecSimulator()
+        program = assemble("here: j here")
+        with pytest.raises(RuntimeError, match="budget"):
+            sim.run_with_control_flow(program, max_instructions=100)
+
+
+class TestWriteLog:
+    def test_records_register_writes_in_order(self):
+        sim = run("addi r1, r0, 1\nsw r1, 0(r0)\naddi r2, r0, 2")
+        assert sim.write_log == [(1, 1), (2, 2)]
+
+    def test_r0_writes_not_logged(self):
+        sim = run("addi r0, r0, 5")
+        assert sim.write_log == []
+
+
+class TestArchStateDiff:
+    def test_identical_states_no_diff(self):
+        a, b = ArchState(), ArchState()
+        assert a.differences(b) == []
+
+    def test_register_diff_reported(self):
+        a, b = ArchState(), ArchState()
+        b.regs[5] = 9
+        assert any("r5" in d for d in a.differences(b))
+
+    def test_memory_diff_reported(self):
+        a, b = ArchState(), ArchState()
+        a.write_mem(0x10, 3)
+        assert any("mem[0x00000010]" in d for d in a.differences(b))
+
+    def test_explicit_zero_equals_missing(self):
+        a, b = ArchState(), ArchState()
+        a.write_mem(0x10, 0)
+        assert a.differences(b) == []
+
+    def test_outbox_diff_reported(self):
+        a, b = ArchState(), ArchState()
+        a.outbox.append(1)
+        assert any("outbox" in d for d in a.differences(b))
+
+    def test_snapshot_is_deep(self):
+        a = ArchState()
+        snap = a.snapshot()
+        a.regs[1] = 5
+        a.write_mem(0, 1)
+        assert snap.regs[1] == 0
+        assert snap.memory == {}

@@ -1,0 +1,75 @@
+"""Unit + property tests for packed state encoding."""
+
+from hypothesis import given, strategies as st
+
+from repro.smurphi import BoolType, EnumType, RangeType, StateVar, StateCodec
+
+
+def make_codec():
+    return StateCodec(
+        [
+            StateVar("a", BoolType(), False),
+            StateVar("count", RangeType(0, 6), 0),
+            StateVar("st", EnumType("e", ["IDLE", "REQ", "FILL", "FIX"]), "IDLE"),
+        ]
+    )
+
+
+class TestPacking:
+    def test_total_bits(self):
+        assert make_codec().total_bits == 1 + 3 + 2
+
+    def test_pack_reset_is_zero(self):
+        codec = make_codec()
+        assert codec.pack({"a": False, "count": 0, "st": "IDLE"}) == 0
+
+    def test_roundtrip(self):
+        codec = make_codec()
+        state = {"a": True, "count": 5, "st": "FIX"}
+        assert codec.unpack(codec.pack(state)) == state
+
+    def test_distinct_states_distinct_keys(self):
+        codec = make_codec()
+        keys = set()
+        for a in (False, True):
+            for count in range(7):
+                for st_ in ("IDLE", "REQ", "FILL", "FIX"):
+                    keys.add(codec.pack({"a": a, "count": count, "st": st_}))
+        assert len(keys) == 2 * 7 * 4
+
+    def test_field_layout(self):
+        codec = make_codec()
+        assert codec.field("a") == (0, 1)
+        assert codec.field("count") == (1, 3)
+        assert codec.field("st") == (4, 2)
+
+    def test_extract_single_variable(self):
+        codec = make_codec()
+        key = codec.pack({"a": True, "count": 3, "st": "FILL"})
+        assert codec.extract(key, "count") == 3
+        assert codec.extract(key, "st") == "FILL"
+        assert codec.extract(key, "a") is True
+
+    def test_zero_width_variable(self):
+        codec = StateCodec(
+            [
+                StateVar("only", EnumType("s", ["X"]), "X"),
+                StateVar("b", BoolType(), False),
+            ]
+        )
+        key = codec.pack({"only": "X", "b": True})
+        assert codec.unpack(key) == {"only": "X", "b": True}
+        assert codec.total_bits == 1
+
+
+@given(
+    a=st.booleans(),
+    count=st.integers(0, 6),
+    st_=st.sampled_from(["IDLE", "REQ", "FILL", "FIX"]),
+)
+def test_roundtrip_property(a, count, st_):
+    codec = make_codec()
+    state = {"a": a, "count": count, "st": st_}
+    key = codec.pack(state)
+    assert codec.unpack(key) == state
+    assert 0 <= key < 2 ** codec.total_bits
