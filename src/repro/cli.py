@@ -3,16 +3,20 @@
 A production release of this system is driven from build scripts, so the
 pipeline is exposed as subcommands::
 
-    python -m repro enumerate --fill-words 2 --graph-out pp.graph.json
+    python -m repro enumerate --fill-words 2 --jobs 4 --graph-out pp.graph.json
     python -m repro tours     --graph pp.graph.json --limit 400
-    python -m repro validate  --fill-words 2 [--bug 5]
-    python -m repro campaign  --fill-words 2
+    python -m repro validate  --fill-words 2 --cache-dir .repro-cache [--bug 5]
+    python -m repro campaign  --fill-words 2 --jobs 4
     python -m repro translate design.v --top arbiter
     python -m repro murphi    model.m
     python -m repro errata
 
 Every command prints a compact human-readable report; ``--graph-out``
-persists the enumerated state graph as JSON for reuse.
+persists the enumerated state graph as JSON for reuse.  ``--jobs`` shards
+enumeration and trace simulation across worker processes; ``--cache-dir``
+persists the expensive pipeline artifacts (state graph, tours, traces) so
+repeat runs skip straight to simulation, and ``--no-cache`` forces a
+rebuild that refreshes the stored entry.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from typing import List, Optional
 
 from repro.bugs import BUGS
 from repro.core.report import format_campaign_table
-from repro.enumeration import StateGraph, enumerate_states
+from repro.enumeration import StateGraph, enumerate_states, enumerate_states_parallel
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.tour import TourGenerator, arc_coverage
 
@@ -42,9 +46,43 @@ def _add_model_flags(parser: argparse.ArgumentParser) -> None:
                         help="trailing write-back stages tracked by control")
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for enumeration and trace "
+                             "simulation (0 = all CPUs)")
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir",
+                        help="persist/reuse pipeline artifacts "
+                             "(state graph, tours, traces) in this directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore cached artifacts and rebuild "
+                             "(the fresh build is still stored)")
+
+
+def _jobs(args) -> Optional[int]:
+    # argparse gives an int; 0 means "use every CPU" (None internally).
+    return None if args.jobs == 0 else args.jobs
+
+
+def _print_cache_status(pipeline) -> None:
+    if pipeline.cache_key is None:
+        return
+    short = pipeline.cache_key[:12]
+    if pipeline.artifacts_from_cache:
+        print(f"artifacts: cache hit ({short}) -- enumeration skipped")
+    else:
+        print(f"artifacts: built and cached ({short})")
+
+
 def cmd_enumerate(args) -> int:
     model = PPControlModel(_model_config(args)).build()
-    graph, stats = enumerate_states(model)
+    jobs = _jobs(args)
+    if jobs is None or jobs > 1:
+        graph, stats = enumerate_states_parallel(model, jobs=jobs)
+    else:
+        graph, stats = enumerate_states(model)
     print(stats.format_table())
     print(f"reachable fraction of 2^bits: {stats.reachable_fraction:.2e}")
     if args.graph_out:
@@ -85,7 +123,12 @@ def cmd_validate(args) -> int:
         model_config=_model_config(args),
         max_instructions_per_trace=args.limit or None,
         seed=args.seed,
+        jobs=_jobs(args),
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
     )
+    pipeline.build()
+    _print_cache_status(pipeline)
     config = CoreConfig(mem_latency=0)
     if args.bug:
         for bug_id in args.bug:
@@ -108,7 +151,11 @@ def cmd_campaign(args) -> int:
         model_config=_model_config(args),
         seed=args.seed,
         max_instructions_per_trace=args.limit or None,
+        jobs=_jobs(args),
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
     )
+    _print_cache_status(campaign.pipeline)
     results = campaign.evaluate_all_bugs()
     print(format_campaign_table(results))
     found = sum(r.outcomes["generated"].detected for r in results)
@@ -165,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("enumerate", help="enumerate the PP control state graph")
     _add_model_flags(p)
+    _add_jobs_flag(p)
     p.add_argument("--graph-out", help="write the state graph as JSON")
     p.set_defaults(func=cmd_enumerate)
 
@@ -177,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="run the full validation pipeline")
     _add_model_flags(p)
+    _add_jobs_flag(p)
+    _add_cache_flags(p)
     p.add_argument("--limit", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--bug", type=int, action="append",
@@ -187,6 +237,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("campaign", help="Table 2.1: all bugs x all methods")
     _add_model_flags(p)
+    _add_jobs_flag(p)
+    _add_cache_flags(p)
     p.add_argument("--limit", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_campaign)

@@ -1,0 +1,184 @@
+"""Persistent, content-addressed cache of pipeline artifacts.
+
+The expensive intermediates of the methodology -- the enumerated state
+graph, the transition tours, the generated vector traces -- are
+*design-dependent but bug-independent*: one build can evaluate any number
+of candidate (possibly bug-injected) implementations.  This module makes
+that reuse survive across processes by storing
+:class:`~repro.core.pipeline.PipelineArtifacts` on disk under a
+content-addressed key.
+
+Keying scheme
+-------------
+A cache entry's key is the SHA-256 of a canonical JSON payload of every
+input that determines the artifacts:
+
+- ``schema``: the on-disk format version (:data:`CACHE_SCHEMA_VERSION`);
+- ``code``: a digest of every ``repro`` source file, so *any* code change
+  invalidates every entry -- conservative but sound, and cheap to compute;
+- ``model_config``: the full :class:`~repro.pp.fsm_model.PPModelConfig`
+  (or any dataclass config) as a field dict;
+- the enumeration/generation flags: ``record_all_conditions``,
+  ``max_instructions_per_trace``, ``seed``.
+
+Changing any of these changes the key, so stale entries are never *read*
+-- they are simply orphaned (and can be removed with :meth:`ArtifactCache.prune`).
+
+Storage format
+--------------
+``<cache_dir>/<key>.pkl`` holds the pickled artifacts; ``<key>.json`` is a
+human-readable manifest of the key inputs for debugging.  Writes go
+through a temporary file plus :func:`os.replace`, so a reader never sees a
+torn entry; any unreadable or truncated pickle is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Bump when the pickled artifact layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (memoized per process).
+
+    Hashing relative path + contents of every ``.py`` file means a cache
+    entry is invalidated by any code change that could alter the artifacts,
+    without trying to reason about which module feeds which stage.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def artifact_key(
+    model_config: Any,
+    *,
+    record_all_conditions: bool = False,
+    max_instructions_per_trace: Optional[int] = None,
+    seed: int = 0,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Content address for one pipeline build's artifacts."""
+    if dataclasses.is_dataclass(model_config):
+        config_payload: Any = dataclasses.asdict(model_config)
+    else:
+        config_payload = repr(model_config)
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": code_version(),
+        "model_config": config_payload,
+        "record_all_conditions": bool(record_all_conditions),
+        "max_instructions_per_trace": max_instructions_per_trace,
+        "seed": seed,
+    }
+    if extra:
+        payload["extra"] = extra
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ArtifactCache:
+    """On-disk store of pipeline artifacts addressed by :func:`artifact_key`.
+
+    >>> cache = ArtifactCache("/tmp/repro-cache")        # doctest: +SKIP
+    >>> key = artifact_key(PPModelConfig(), seed=0)      # doctest: +SKIP
+    >>> cache.load(key) or cache.store(key, artifacts)   # doctest: +SKIP
+    """
+
+    def __init__(self, cache_dir):
+        self.cache_dir = Path(cache_dir)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # Fail before the caller sinks minutes into a build whose
+            # artifacts could never be stored.
+            raise ValueError(
+                f"cache directory {self.cache_dir} is unusable: {exc}"
+            ) from exc
+
+    # -- paths ---------------------------------------------------------------
+
+    def pickle_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def manifest_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    # -- operations ----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return self.pickle_path(key).is_file()
+
+    def load(self, key: str) -> Optional[Any]:
+        """Return the cached artifacts for ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses: the caller rebuilds
+        and overwrites them.
+        """
+        path = self.pickle_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Unpickling a corrupt stream can raise nearly anything
+            # (UnpicklingError, EOFError, ValueError, UnicodeDecodeError,
+            # AttributeError...); every failure mode means the same thing
+            # here: not a usable entry, rebuild it.
+            return None
+
+    def store(
+        self, key: str, artifacts: Any, manifest: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        """Atomically persist ``artifacts`` under ``key``; returns the path."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.pickle_path(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(artifacts, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        if manifest is not None:
+            self.manifest_path(key).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True, default=repr)
+            )
+        return path
+
+    def prune(self) -> int:
+        """Remove every entry; returns the number of pickles deleted."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return removed
+        for path in self.cache_dir.iterdir():
+            if path.suffix in (".pkl", ".json", ".tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.suffix == ".pkl":
+                    removed += 1
+        return removed

@@ -5,8 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.enumeration import EnumerationStats, StateGraph, enumerate_states
-from repro.harness.compare import ComparisonResult, run_vector_trace
+from repro.core.cache import ArtifactCache, artifact_key
+from repro.enumeration import (
+    EnumerationStats,
+    StateGraph,
+    enumerate_states,
+    enumerate_states_parallel,
+)
+from repro.harness.compare import ComparisonResult, run_vector_traces
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.pp.rtl.core import CoreConfig
 from repro.tour import TourGenerator, TourSet
@@ -46,6 +52,19 @@ class ValidationPipeline:
     record_all_conditions:
         Enumerate with one arc per unique transition condition -- the
         paper's proposed fix for the fewer-behaviours blind spot (Fig 4.2).
+    jobs:
+        Worker processes for enumeration (:func:`enumerate_states_parallel`)
+        and trace simulation; ``1`` keeps everything in-process, ``None``
+        uses every CPU.
+    cache_dir:
+        Directory for the persistent artifact cache; ``None`` disables
+        caching.  Entries are keyed by config + flags + seed + code version
+        (see :mod:`repro.core.cache`), so a warm hit is exactly the build
+        this pipeline would have produced.
+    use_cache:
+        When false, ``cache_dir`` is still *written* after a build but
+        never read -- i.e. ``--no-cache`` forces a rebuild that refreshes
+        the entry.
     """
 
     def __init__(
@@ -54,20 +73,68 @@ class ValidationPipeline:
         max_instructions_per_trace: Optional[int] = 400,
         seed: int = 0,
         record_all_conditions: bool = False,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
     ):
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.max_instructions_per_trace = max_instructions_per_trace
         self.seed = seed
         self.record_all_conditions = record_all_conditions
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
         self.control = PPControlModel(self.model_config)
         self._artifacts: Optional[PipelineArtifacts] = None
+        #: True when the last :meth:`build` was served from the cache.
+        self.artifacts_from_cache = False
+        #: Content address of the last build (set whenever caching is on).
+        self.cache_key: Optional[str] = None
 
-    def build(self) -> PipelineArtifacts:
-        """Run steps 1-3: model, enumerate, tour, vectors."""
-        model = self.control.build()
-        graph, stats = enumerate_states(
-            model, record_all_conditions=self.record_all_conditions
+    def _cache_key(self) -> str:
+        return artifact_key(
+            self.model_config,
+            record_all_conditions=self.record_all_conditions,
+            max_instructions_per_trace=self.max_instructions_per_trace,
+            seed=self.seed,
         )
+
+    def build(
+        self,
+        cache_dir: Optional[str] = None,
+        use_cache: Optional[bool] = None,
+        jobs: Optional[int] = None,
+    ) -> PipelineArtifacts:
+        """Run steps 1-3 (model, enumerate, tour, vectors) or load them.
+
+        With a cache directory configured, a warm hit skips enumeration,
+        tour generation and vector generation entirely; a miss builds and
+        persists the artifacts for the next run.  Keyword arguments
+        override the constructor's defaults for this call only.
+        """
+        cache_dir = self.cache_dir if cache_dir is None else cache_dir
+        use_cache = self.use_cache if use_cache is None else use_cache
+        jobs = self.jobs if jobs is None else jobs
+
+        cache = ArtifactCache(cache_dir) if cache_dir else None
+        if cache is not None:
+            self.cache_key = self._cache_key()
+            if use_cache:
+                cached = cache.load(self.cache_key)
+                if cached is not None:
+                    self._artifacts = cached
+                    self.artifacts_from_cache = True
+                    return cached
+
+        model = self.control.build()
+        if jobs is None or jobs > 1:
+            graph, stats = enumerate_states_parallel(
+                model, jobs=jobs, record_all_conditions=self.record_all_conditions
+            )
+        else:
+            graph, stats = enumerate_states(
+                model, record_all_conditions=self.record_all_conditions
+            )
         cost = pp_instruction_cost(self.control, graph)
         tours = TourGenerator(
             graph,
@@ -80,6 +147,21 @@ class ValidationPipeline:
         self._artifacts = PipelineArtifacts(
             graph=graph, enumeration=stats, tours=tours, traces=traces
         )
+        self.artifacts_from_cache = False
+        if cache is not None:
+            cache.store(
+                self.cache_key,
+                self._artifacts,
+                manifest={
+                    "model_config": self.model_config,
+                    "record_all_conditions": self.record_all_conditions,
+                    "max_instructions_per_trace": self.max_instructions_per_trace,
+                    "seed": self.seed,
+                    "num_states": graph.num_states,
+                    "num_edges": graph.num_edges,
+                    "num_traces": traces.num_traces,
+                },
+            )
         return self._artifacts
 
     @property
@@ -92,20 +174,24 @@ class ValidationPipeline:
         self,
         config: Optional[CoreConfig] = None,
         stop_on_divergence: bool = True,
+        jobs: Optional[int] = None,
     ) -> "ValidationReport":
-        """Step 4: run every trace against the spec; collect divergences."""
+        """Step 4: run every trace against the spec; collect divergences.
+
+        ``jobs`` fans the independent trace simulations across worker
+        processes (defaulting to the pipeline-wide setting); results and
+        the stop-on-divergence cut point match the sequential run exactly.
+        """
         from repro.core.report import ValidationReport
 
         config = config or CoreConfig(mem_latency=0)
-        results: List[ComparisonResult] = []
-        diverging: List[int] = []
-        for index, trace in enumerate(self.artifacts.traces):
-            result = run_vector_trace(trace, config=config)
-            results.append(result)
-            if result.diverged:
-                diverging.append(index)
-                if stop_on_divergence:
-                    break
+        jobs = self.jobs if jobs is None else jobs
+        results, diverging = run_vector_traces(
+            self.artifacts.traces,
+            config=config,
+            jobs=jobs,
+            stop_on_divergence=stop_on_divergence,
+        )
         return ValidationReport(
             config=config,
             traces_run=len(results),
@@ -114,4 +200,5 @@ class ValidationPipeline:
             results=results,
             enumeration=self.artifacts.enumeration,
             tour_stats=self.artifacts.tours.stats,
+            from_cache=self.artifacts_from_cache,
         )

@@ -23,6 +23,9 @@ class ValidationReport:
     results: List[ComparisonResult]
     enumeration: EnumerationStats
     tour_stats: TourStats
+    #: True when the pipeline artifacts were loaded from the on-disk cache
+    #: rather than rebuilt (enumeration + tours + vectors skipped).
+    from_cache: bool = False
 
     @property
     def clean(self) -> bool:

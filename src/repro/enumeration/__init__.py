@@ -7,6 +7,7 @@ which transition tours are derived.
 
 from repro.enumeration.graph import StateGraph, Edge
 from repro.enumeration.bfs import enumerate_states, EnumerationError, InvariantViolation
+from repro.enumeration.parallel import enumerate_states_parallel
 from repro.enumeration.stats import EnumerationStats
 from repro.enumeration.analysis import (
     GraphProfile,
@@ -25,6 +26,7 @@ __all__ = [
     "StateGraph",
     "Edge",
     "enumerate_states",
+    "enumerate_states_parallel",
     "EnumerationError",
     "InvariantViolation",
     "EnumerationStats",

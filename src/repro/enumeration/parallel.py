@@ -1,0 +1,189 @@
+"""Parallel breadth-first state enumeration.
+
+The sequential enumerator (:func:`repro.enumeration.bfs.enumerate_states`)
+dominates pipeline wall-clock: every reachable state is expanded by calling
+``model.step`` once per choice combination, and the PP control model fires
+tens of choice permutations per state.  The expansion work is embarrassingly
+parallel -- each state's successor set depends only on that state -- while
+the *bookkeeping* (interning states to dense ids, recording arcs, checking
+invariants) is cheap and order-sensitive.  So the engine here splits the two:
+
+- **Workers** receive batches of packed state keys, expand them with
+  ``model.step`` over every active choice combination, and return, per
+  source state, the ordered list of ``(condition, packed_successor)`` pairs.
+- **The coordinator** keeps the canonical BFS order: it processes one
+  frontier *wave* at a time (all states discovered during the previous
+  wave, in discovery order), shards the wave across the pool, and replays
+  the results in (source id, choice order) -- exactly the order the
+  sequential enumerator would have observed them.
+
+Determinism guarantee
+---------------------
+Sequential BFS pops states in strictly increasing id order (the frontier is
+FIFO and ids are assigned at discovery).  Wave-synchronous processing
+preserves that order, and ``Pool.map`` returns shards in submission order,
+so state ids, edge order, recorded conditions, the ``max_states`` cap and
+the first :class:`InvariantViolation` are all **identical** to the
+sequential path -- in both ``record_all_conditions`` modes.  The golden
+test in ``tests/test_parallel_enumeration.py`` locks this down by comparing
+byte-identical :meth:`StateGraph.to_json` serializations.
+
+Process model
+-------------
+Models hold closures (choice guards, ``next_state``) that do not pickle, so
+workers get the model by *fork inheritance*: the coordinator publishes it
+in a module global before creating the pool and forked children inherit the
+parent's memory image.  On platforms without the ``fork`` start method the
+engine transparently falls back to the sequential enumerator -- correctness
+never depends on parallelism being available.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.enumeration.bfs import (
+    EnumerationError,
+    InvariantViolation,
+    _approx_memory,
+    enumerate_states,
+)
+from repro.enumeration.graph import StateGraph
+from repro.enumeration.stats import EnumerationStats
+from repro.smurphi.model import SyncModel
+from repro.smurphi.state import StateCodec
+
+#: Model published by the coordinator immediately before the pool forks;
+#: worker processes inherit it (closures and all) without pickling.
+_WORKER_MODEL: Optional[SyncModel] = None
+_WORKER_CODEC: Optional[StateCodec] = None
+
+
+def _init_worker() -> None:
+    """Per-worker setup: build the codec once from the inherited model."""
+    global _WORKER_CODEC
+    _WORKER_CODEC = StateCodec(_WORKER_MODEL.state_vars)
+
+
+def _expand_batch(packed_keys: Sequence[int]) -> List[List[Tuple[Tuple, int]]]:
+    """Expand a batch of states; one row of (condition, packed_dst) per state.
+
+    Rows preserve the model's choice enumeration order, which the
+    coordinator relies on to replay transitions canonically.
+    """
+    model = _WORKER_MODEL
+    codec = _WORKER_CODEC
+    names = model.choice_names
+    rows: List[List[Tuple[Tuple, int]]] = []
+    for key in packed_keys:
+        state = codec.unpack(key)
+        row = []
+        for choice in model.enumerate_choices(state):
+            nxt = model.step(state, choice)
+            row.append((tuple(choice[n] for n in names), codec.pack(nxt)))
+        rows.append(row)
+    return rows
+
+
+def _shard(items: Sequence, num_shards: int) -> List[List]:
+    """Split ``items`` into at most ``num_shards`` contiguous, ordered chunks."""
+    size = max(1, -(-len(items) // num_shards))
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def enumerate_states_parallel(
+    model: SyncModel,
+    jobs: Optional[int] = None,
+    max_states: Optional[int] = None,
+    record_all_conditions: bool = False,
+    check_invariants: bool = True,
+) -> Tuple[StateGraph, EnumerationStats]:
+    """Enumerate ``model`` with ``jobs`` worker processes.
+
+    Produces a :class:`StateGraph` identical -- same state ids in canonical
+    BFS order, same edge list, same conditions -- to
+    :func:`~repro.enumeration.bfs.enumerate_states`.  ``jobs=None`` uses
+    every CPU; ``jobs<=1`` (or platforms without ``fork``) runs the
+    sequential enumerator directly.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        return enumerate_states(
+            model,
+            max_states=max_states,
+            record_all_conditions=record_all_conditions,
+            check_invariants=check_invariants,
+        )
+
+    global _WORKER_MODEL
+    codec = StateCodec(model.state_vars)
+    graph = StateGraph(model.choice_names)
+    started = time.perf_counter()
+
+    reset = model.reset_state()
+    model.validate_state(reset)
+    reset_id, _ = graph.intern_state(codec.pack(reset))
+    assert reset_id == StateGraph.RESET
+    if check_invariants:
+        violated = model.check_invariants(reset)
+        if violated:
+            raise InvariantViolation(reset_id, dict(reset), tuple(violated))
+
+    seen_arcs: Set[Tuple] = set()
+    transitions_explored = 0
+    wave: List[int] = [reset_id]
+
+    ctx = multiprocessing.get_context("fork")
+    _WORKER_MODEL = model
+    try:
+        with ctx.Pool(processes=jobs, initializer=_init_worker) as pool:
+            while wave:
+                keys = [graph.state_key(src) for src in wave]
+                # Oversplit so a skewed shard cannot stall the whole wave.
+                shards = _shard(keys, jobs * 4)
+                rows = [row for shard in pool.map(_expand_batch, shards) for row in shard]
+                next_wave: List[int] = []
+                for src_id, row in zip(wave, rows):
+                    for condition, packed_dst in row:
+                        transitions_explored += 1
+                        dst_id, is_new = graph.intern_state(packed_dst)
+                        if is_new:
+                            if max_states is not None and graph.num_states > max_states:
+                                raise EnumerationError(
+                                    f"state count exceeded cap of {max_states} "
+                                    f"while enumerating {model.name!r}"
+                                )
+                            if check_invariants:
+                                nxt = codec.unpack(packed_dst)
+                                violated = model.check_invariants(nxt)
+                                if violated:
+                                    raise InvariantViolation(
+                                        dst_id, dict(nxt), tuple(violated)
+                                    )
+                            next_wave.append(dst_id)
+                        if record_all_conditions:
+                            arc_key: Tuple = (src_id, dst_id, condition)
+                        else:
+                            arc_key = (src_id, dst_id)
+                        if arc_key not in seen_arcs:
+                            seen_arcs.add(arc_key)
+                            graph.add_edge(src_id, dst_id, condition)
+                wave = next_wave
+    finally:
+        _WORKER_MODEL = None
+
+    elapsed = time.perf_counter() - started
+    stats = EnumerationStats(
+        model_name=model.name,
+        num_states=graph.num_states,
+        bits_per_state=model.state_bits(),
+        num_edges=graph.num_edges,
+        transitions_explored=transitions_explored,
+        elapsed_seconds=elapsed,
+        approx_memory_bytes=_approx_memory(graph, model.state_bits()),
+    )
+    return graph, stats

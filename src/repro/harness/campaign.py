@@ -12,14 +12,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.bugs.catalog import BUGS
-from repro.enumeration import enumerate_states
-from repro.harness.compare import ComparisonResult, run_vector_trace
+from repro.harness.compare import ComparisonResult, run_vector_traces
 from repro.harness.directed import directed_tests
 from repro.harness.random_testing import random_campaign
-from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.pp.fsm_model import PPModelConfig
 from repro.pp.rtl.core import CoreConfig
-from repro.tour import TourGenerator
-from repro.vectors import VectorGenerator, pp_instruction_cost
 
 
 @dataclass
@@ -59,6 +56,12 @@ class ValidationCampaign:
         Seed for the biased-random vector fill.
     max_instructions_per_trace:
         The Fig. 3.3 per-trace limit.
+    jobs:
+        Worker processes for enumeration and trace simulation (``1`` keeps
+        everything in-process, ``None`` uses every CPU).
+    cache_dir / use_cache:
+        Persistent artifact cache settings, forwarded to
+        :class:`~repro.core.pipeline.ValidationPipeline`.
     """
 
     def __init__(
@@ -66,45 +69,60 @@ class ValidationCampaign:
         model_config: Optional[PPModelConfig] = None,
         seed: int = 0,
         max_instructions_per_trace: Optional[int] = 400,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
     ):
+        from repro.core.pipeline import ValidationPipeline
+
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.seed = seed
-        self.control = PPControlModel(self.model_config)
-        self.model = self.control.build()
-        self.graph, self.enum_stats = enumerate_states(self.model)
-        cost = pp_instruction_cost(self.control, self.graph)
-        self.tours = TourGenerator(
-            self.graph,
-            instruction_cost=cost,
+        self.jobs = jobs
+        self.pipeline = ValidationPipeline(
+            model_config=self.model_config,
             max_instructions_per_trace=max_instructions_per_trace,
-        ).generate()
-        self.traces = VectorGenerator(self.control, self.graph, seed=seed).generate(
-            list(self.tours)
+            seed=seed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
         )
+        artifacts = self.pipeline.build()
+        self.control = self.pipeline.control
+        self.model = self.control.build()
+        self.graph = artifacts.graph
+        self.enum_stats = artifacts.enumeration
+        self.tours = artifacts.tours
+        self.traces = artifacts.traces
 
     # -- strategies ----------------------------------------------------------------
 
-    def run_generated(self, config: CoreConfig, stop_on_detection: bool = True) -> MethodOutcome:
-        """Replay every generated trace; detect on first divergence."""
-        instructions = 0
-        detected = False
-        detecting: Optional[int] = None
-        first: Optional[ComparisonResult] = None
-        traces_run = 0
-        for index, trace in enumerate(self.traces):
-            result = run_vector_trace(trace, config=config)
-            traces_run += 1
-            instructions += trace.num_instructions
-            if result.diverged:
-                detected = True
-                detecting = index
-                first = result
-                if stop_on_detection:
-                    break
+    def run_generated(
+        self,
+        config: CoreConfig,
+        stop_on_detection: bool = True,
+        jobs: Optional[int] = None,
+    ) -> MethodOutcome:
+        """Replay every generated trace; detect on first divergence.
+
+        ``jobs`` (default: the campaign-wide setting) fans trace
+        simulations across worker processes with the sequential
+        stop-on-detection semantics preserved.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        results, diverging = run_vector_traces(
+            self.traces, config=config, jobs=jobs,
+            stop_on_divergence=stop_on_detection,
+        )
+        traces = list(self.traces)
+        instructions = sum(t.num_instructions for t in traces[: len(results)])
+        detecting = diverging[0] if diverging else None
+        first: Optional[ComparisonResult] = (
+            results[detecting] if detecting is not None else None
+        )
         return MethodOutcome(
             method="generated",
-            detected=detected,
-            traces_run=traces_run,
+            detected=bool(diverging),
+            traces_run=len(results),
             instructions_run=instructions,
             detecting_trace=detecting,
             first_divergence=first,

@@ -1,9 +1,17 @@
-"""RTL-vs-specification comparison for a single trace."""
+"""RTL-vs-specification comparison for vector traces.
+
+One trace is compared by :func:`run_trace`/:func:`run_vector_trace`; whole
+trace sets fan out across worker processes via :func:`run_vector_traces`,
+which keeps sequential result order (and the stop-on-divergence cut point)
+regardless of how many workers simulate concurrently.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.pp.isa import Instruction
 from repro.pp.rtl.core import BRANCH_OPCODES, CoreConfig, PPCore
@@ -110,3 +118,75 @@ def run_vector_trace(
 ) -> ComparisonResult:
     """Convenience wrapper for generated vector traces."""
     return run_trace(trace.program, trace.stimulus(), config=config, **kwargs)
+
+
+#: Config inherited/pickled into trace-simulation workers.
+_TRACE_WORKER_CONFIG: Optional[CoreConfig] = None
+
+
+def _init_trace_worker(config: CoreConfig) -> None:
+    global _TRACE_WORKER_CONFIG
+    _TRACE_WORKER_CONFIG = config
+
+
+def _run_trace_job(trace: TestVectorTrace) -> ComparisonResult:
+    return run_vector_trace(trace, config=_TRACE_WORKER_CONFIG)
+
+
+def run_vector_traces(
+    traces: Iterable[TestVectorTrace],
+    config: Optional[CoreConfig] = None,
+    jobs: Optional[int] = 1,
+    stop_on_divergence: bool = True,
+) -> Tuple[List[ComparisonResult], List[int]]:
+    """Run many traces; return ``(results, diverging_indices)`` in trace order.
+
+    ``jobs>1`` fans the simulations across worker processes but reproduces
+    the sequential contract exactly: results come back in trace order, and
+    with ``stop_on_divergence`` the result list ends at the first diverging
+    trace -- exactly where the sequential loop would have stopped -- even
+    if workers raced ahead on later traces.  ``jobs=None`` uses every CPU.
+    """
+    config = config or CoreConfig(mem_latency=0)
+    traces = list(traces)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    parallel = (
+        jobs > 1
+        and len(traces) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    results: List[ComparisonResult] = []
+    diverging: List[int] = []
+    if not parallel:
+        for index, trace in enumerate(traces):
+            result = run_vector_trace(trace, config=config)
+            results.append(result)
+            if result.diverged:
+                diverging.append(index)
+                if stop_on_divergence:
+                    break
+        return results, diverging
+
+    ctx = multiprocessing.get_context("fork")
+    pool = ctx.Pool(
+        processes=min(jobs, len(traces)),
+        initializer=_init_trace_worker,
+        initargs=(config,),
+    )
+    try:
+        for index, result in enumerate(pool.imap(_run_trace_job, traces)):
+            results.append(result)
+            if result.diverged:
+                diverging.append(index)
+                if stop_on_divergence:
+                    pool.terminate()
+                    break
+        else:
+            pool.close()
+        pool.join()
+    except BaseException:
+        pool.terminate()
+        pool.join()
+        raise
+    return results, diverging

@@ -45,8 +45,23 @@ class StateCodec:
 
     def pack(self, state: Mapping) -> int:
         key = 0
-        for var, offset in zip(self.state_vars, self._offsets):
-            key |= var.type.index_of(state[var.name]) << offset
+        for var, offset, width in zip(self.state_vars, self._offsets, self._widths):
+            value = state[var.name]
+            try:
+                index = var.type.index_of(value)
+            except KeyError:
+                raise ValueError(
+                    f"value {value!r} of state var {var.name!r} "
+                    f"is outside its domain {var.type!r}"
+                ) from None
+            if index >> width:
+                # A wider index would silently corrupt the neighbouring
+                # fields of the packed key; refuse instead of wrapping.
+                raise ValueError(
+                    f"index {index} of state var {var.name!r} does not fit "
+                    f"in its {width}-bit field"
+                )
+            key |= index << offset
         return key
 
     def unpack(self, key: int) -> Dict[str, object]:

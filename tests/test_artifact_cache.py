@@ -1,0 +1,147 @@
+"""Tests for the persistent artifact cache and its pipeline wiring."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import ArtifactCache, ValidationPipeline, artifact_key, code_version
+from repro.pp.fsm_model import PPModelConfig
+
+SMALL = dict(model_config=PPModelConfig(fill_words=1), max_instructions_per_trace=300)
+
+
+@pytest.fixture(scope="module")
+def warm_cache_dir(tmp_path_factory):
+    """A cache directory with the small config already built into it."""
+    cache_dir = tmp_path_factory.mktemp("artifact-cache")
+    ValidationPipeline(cache_dir=str(cache_dir), **SMALL).build()
+    return cache_dir
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        assert artifact_key(PPModelConfig(), seed=3) == artifact_key(
+            PPModelConfig(), seed=3
+        )
+
+    def test_key_changes_with_config(self):
+        base = artifact_key(PPModelConfig(fill_words=2))
+        assert artifact_key(PPModelConfig(fill_words=3)) != base
+        assert artifact_key(PPModelConfig(fill_words=2, extra_pipe_stages=1)) != base
+
+    def test_key_changes_with_flags_and_seed(self):
+        base = artifact_key(PPModelConfig(), seed=0)
+        assert artifact_key(PPModelConfig(), seed=1) != base
+        assert artifact_key(PPModelConfig(), record_all_conditions=True) != base
+        assert artifact_key(PPModelConfig(), max_instructions_per_trace=100) != base
+
+    def test_code_version_is_memoized_hex(self):
+        first = code_version()
+        assert first == code_version()
+        assert len(first) == 64
+        int(first, 16)
+
+
+class TestArtifactCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        assert not cache.has("0" * 64)
+
+    def test_store_then_load_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        payload = {"graph": [1, 2, 3], "nested": ("a", True)}
+        cache.store("k" * 64, payload, manifest={"why": "test"})
+        assert cache.has("k" * 64)
+        assert cache.load("k" * 64) == payload
+        manifest = json.loads(cache.manifest_path("k" * 64).read_text())
+        assert manifest == {"why": "test"}
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"\x80", b"\xff\xfe\x00junk"],
+        ids=["opcode-soup", "get-opcode-valueerror", "truncated-proto", "binary"],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        # Unpickling corrupt bytes raises all sorts of exceptions (the
+        # b"garbage" case is a ValueError, not UnpicklingError); every one
+        # must read as a miss, never crash the caller.
+        cache = ArtifactCache(tmp_path)
+        cache.store("c" * 64, [1, 2])
+        cache.pickle_path("c" * 64).write_bytes(garbage)
+        assert cache.load("c" * 64) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("t" * 64, list(range(1000)))
+        blob = cache.pickle_path("t" * 64).read_bytes()
+        cache.pickle_path("t" * 64).write_bytes(blob[: len(blob) // 2])
+        assert cache.load("t" * 64) is None
+
+    def test_unusable_cache_dir_fails_fast(self, tmp_path):
+        # A cache path that collides with an existing file must fail at
+        # construction, before any expensive build is attempted.
+        blocker = tmp_path / "afile"
+        blocker.write_text("")
+        with pytest.raises(ValueError, match="unusable"):
+            ArtifactCache(blocker)
+
+    def test_prune_empties_the_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("p" * 64, [1], manifest={})
+        assert cache.prune() == 1
+        assert not cache.has("p" * 64)
+
+
+class TestPipelineCaching:
+    def test_cold_build_stores_and_reports_built(self, warm_cache_dir):
+        # The module fixture performed the cold build; its entry must exist.
+        cache = ArtifactCache(warm_cache_dir)
+        key = artifact_key(
+            SMALL["model_config"],
+            max_instructions_per_trace=SMALL["max_instructions_per_trace"],
+        )
+        assert cache.has(key)
+
+    def test_warm_hit_skips_enumeration_and_matches(self, warm_cache_dir):
+        pipeline = ValidationPipeline(cache_dir=str(warm_cache_dir), **SMALL)
+        artifacts = pipeline.build()
+        assert pipeline.artifacts_from_cache
+        rebuilt = ValidationPipeline(**SMALL).build()
+        assert artifacts.graph.to_json() == rebuilt.graph.to_json()
+        assert [t.program for t in artifacts.traces] == [
+            t.program for t in rebuilt.traces
+        ]
+        assert [t.edge_indices for t in artifacts.tours] == [
+            t.edge_indices for t in rebuilt.tours
+        ]
+
+    def test_no_cache_forces_rebuild_but_still_stores(self, warm_cache_dir):
+        pipeline = ValidationPipeline(
+            cache_dir=str(warm_cache_dir), use_cache=False, **SMALL
+        )
+        pipeline.build()
+        assert not pipeline.artifacts_from_cache
+        assert ArtifactCache(warm_cache_dir).has(pipeline.cache_key)
+
+    def test_seed_change_misses(self, warm_cache_dir):
+        pipeline = ValidationPipeline(cache_dir=str(warm_cache_dir), seed=99, **SMALL)
+        pipeline.build()
+        assert not pipeline.artifacts_from_cache
+
+    def test_validate_reports_cache_provenance(self, warm_cache_dir):
+        pipeline = ValidationPipeline(cache_dir=str(warm_cache_dir), **SMALL)
+        report = pipeline.validate()
+        assert report.from_cache
+        assert report.clean
+
+    def test_validate_parallel_matches_sequential(self, warm_cache_dir):
+        pipeline = ValidationPipeline(cache_dir=str(warm_cache_dir), **SMALL)
+        sequential = pipeline.validate(jobs=1)
+        parallel = pipeline.validate(jobs=2)
+        assert parallel.traces_run == sequential.traces_run
+        assert parallel.diverging_traces == sequential.diverging_traces
+        assert [r.cycles for r in parallel.results] == [
+            r.cycles for r in sequential.results
+        ]

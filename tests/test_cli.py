@@ -36,6 +36,68 @@ class TestTours:
         assert "traces: " in out
 
 
+class TestJobsFlag:
+    def test_enumerate_jobs_matches_sequential(self, tmp_path, capsys):
+        seq = tmp_path / "seq.json"
+        par = tmp_path / "par.json"
+        assert main(["enumerate", "--fill-words", "1",
+                     "--graph-out", str(seq)]) == 0
+        assert main(["enumerate", "--fill-words", "1", "--jobs", "2",
+                     "--graph-out", str(par)]) == 0
+        assert seq.read_text() == par.read_text()
+        assert "1,509" in capsys.readouterr().out
+
+    def test_validate_jobs_round_trip(self, capsys):
+        assert main(["validate", "--fill-words", "1", "--limit", "300",
+                     "--jobs", "2"]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_cold_then_warm_then_no_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["validate", "--fill-words", "1", "--limit", "300",
+                "--cache-dir", cache]
+
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "artifacts: built and cached" in out
+
+        # Warm run: the pipeline loads the artifacts and skips enumeration.
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "artifacts: cache hit" in out
+        assert "enumeration skipped" in out
+        assert "no divergence" in out
+
+        # --no-cache forces a rebuild even though the entry exists.
+        assert main(base + ["--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts: built and cached" in out
+
+    def test_cache_invalidated_by_seed(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["validate", "--fill-words", "1", "--limit", "300",
+                "--cache-dir", cache]
+        assert main(base + ["--seed", "0"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--seed", "1"]) == 0
+        assert "artifacts: built and cached" in capsys.readouterr().out
+
+    def test_warm_hit_detects_injected_bug(self, tmp_path, capsys):
+        # The cached artifacts are bug-independent: a warm hit must still
+        # drive the bug-injected design to divergence.
+        cache = str(tmp_path / "cache")
+        base = ["validate", "--fill-words", "1", "--limit", "300",
+                "--cache-dir", cache]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--bug", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts: cache hit" in out
+        assert "DIVERGED" in out
+
+
 class TestValidate:
     def test_clean_design_exit_zero(self, capsys):
         assert main(["validate", "--fill-words", "1", "--limit", "300"]) == 0

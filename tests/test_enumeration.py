@@ -99,6 +99,19 @@ class TestEnumerateStates:
         with pytest.raises(EnumerationError):
             enumerate_states(counter_model(10), max_states=3)
 
+    def test_max_states_cap_never_truncates_silently(self):
+        # The cap is a hard error, not a truncation: a run that stays under
+        # it yields the complete graph, one over it raises -- there is no
+        # configuration that returns a partial graph.
+        graph, _ = enumerate_states(counter_model(3), max_states=4)
+        assert graph.num_states == 4  # exactly at the cap: complete graph
+        with pytest.raises(EnumerationError, match="exceeded cap of 3"):
+            enumerate_states(counter_model(3), max_states=3)
+
+    def test_cap_error_names_the_model(self):
+        with pytest.raises(EnumerationError, match="counter"):
+            enumerate_states(counter_model(10), max_states=2)
+
     def test_interlock_prunes_product_space(self):
         graph, stats = enumerate_states(two_fsm_interlock())
         # Never both BUSY: fewer than the 9 product states are reachable.
@@ -117,6 +130,23 @@ class TestEnumerateStates:
             enumerate_states(m)
         assert excinfo.value.state == {"n": 2}
         assert excinfo.value.violated == ("bounded",)
+        # The exception pinpoints the offending state's id: n=2 is the
+        # third state discovered (after n=0 and n=1).
+        assert excinfo.value.state_id == 2
+        assert "state #2" in str(excinfo.value)
+
+    def test_invariant_violation_at_reset_has_reset_id(self):
+        m = SyncModel(
+            "inv0",
+            state_vars=[StateVar("n", RangeType(0, 3), 0)],
+            choices=[],
+            next_state=lambda s, c: {"n": s["n"]},
+            invariants={"nonzero": lambda s: s["n"] > 0},
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            enumerate_states(m)
+        assert excinfo.value.state_id == StateGraph.RESET
+        assert excinfo.value.violated == ("nonzero",)
 
     def test_invariant_check_can_be_disabled(self):
         m = SyncModel(
