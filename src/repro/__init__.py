@@ -27,6 +27,7 @@ Package map
 - ``repro.harness``      implementation-vs-spec comparison + baselines
 - ``repro.errata``       the R4000 errata study (Table 1.1)
 - ``repro.core``         the end-to-end pipeline (Fig. 3.1)
+- ``repro.obs``          observability: metrics, tracing, run reports
 """
 
 __version__ = "1.0.0"

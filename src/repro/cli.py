@@ -10,6 +10,7 @@ pipeline is exposed as subcommands::
     python -m repro translate design.v --top arbiter
     python -m repro murphi    model.m
     python -m repro errata
+    python -m repro report    run.json [--curve curve.csv]
 
 Every command prints a compact human-readable report; ``--graph-out``
 persists the enumerated state graph as JSON for reuse.  ``--jobs`` shards
@@ -17,17 +18,27 @@ enumeration and trace simulation across worker processes; ``--cache-dir``
 persists the expensive pipeline artifacts (state graph, tours, traces) so
 repeat runs skip straight to simulation, and ``--no-cache`` forces a
 rebuild that refreshes the stored entry.
+
+Observability: ``--trace-out`` writes a Chrome ``trace_event`` file (open
+in chrome://tracing or Perfetto; use a ``.jsonl`` suffix to stream the raw
+event log instead), ``--metrics-out`` writes the unified machine-readable
+:class:`~repro.obs.report.RunReport` JSON (metrics + per-phase timings +
+stats), ``--log-level`` enables structured stderr logging, and ``repro
+report`` renders a saved run JSON back into the human tables, including
+Fig 4.1-style coverage-curve data.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 from repro.bugs import BUGS
 from repro.core.report import format_campaign_table
 from repro.enumeration import StateGraph, enumerate_states, enumerate_states_parallel
+from repro.obs import Observer, RunReport, Tracer, resolve
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.tour import TourGenerator, arc_coverage
 
@@ -61,6 +72,70 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
                              "(the fresh build is still stored)")
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace_event file (open in "
+                             "chrome://tracing / Perfetto); a .jsonl suffix "
+                             "streams the raw JSONL event log instead")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the unified run report JSON (metrics, "
+                             "per-phase timings, stats); render it later "
+                             "with 'repro report'")
+    parser.add_argument("--log-level",
+                        choices=["debug", "info", "warning", "error"],
+                        help="enable structured logging to stderr")
+
+
+def _configure_logging(args) -> None:
+    level = getattr(args, "log_level", None)
+    if level:
+        logging.basicConfig(
+            level=getattr(logging, level.upper()),
+            format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            stream=sys.stderr,
+            force=True,
+        )
+
+
+def _make_observer(args) -> Optional[Observer]:
+    """An observer when any sink is requested, else None (no-op path)."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return None
+    tracer = None
+    if trace_out:
+        # .jsonl streams events live (crash-tolerant); any other suffix
+        # buffers and exports Chrome trace_event format on completion.
+        tracer = Tracer(path=trace_out if trace_out.endswith(".jsonl") else None)
+    return Observer(tracer=tracer)
+
+
+def _finish_observer(args, observer: Optional[Observer],
+                     run_report: Optional[RunReport] = None) -> None:
+    """Flush the observer's sinks to the paths the user asked for."""
+    if observer is None:
+        return
+    observer.close()
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and observer.tracer is not None:
+        if trace_out.endswith(".jsonl"):
+            print(f"JSONL event trace written to {trace_out}")
+        else:
+            observer.tracer.write_chrome_trace(trace_out)
+            print(f"chrome trace written to {trace_out} "
+                  "(open in chrome://tracing or ui.perfetto.dev)")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        if run_report is not None:
+            run_report.write(metrics_out)
+        else:
+            with open(metrics_out, "w") as handle:
+                handle.write(observer.metrics.to_json())
+        print(f"run report written to {metrics_out} "
+              f"(render with: repro report {metrics_out})")
+
+
 def _jobs(args) -> Optional[int]:
     # argparse gives an int; 0 means "use every CPU" (None internally).
     return None if args.jobs == 0 else args.jobs
@@ -77,18 +152,34 @@ def _print_cache_status(pipeline) -> None:
 
 
 def cmd_enumerate(args) -> int:
-    model = PPControlModel(_model_config(args)).build()
+    import dataclasses
+
+    observer = _make_observer(args)
+    obs = resolve(observer)
     jobs = _jobs(args)
-    if jobs is None or jobs > 1:
-        graph, stats = enumerate_states_parallel(model, jobs=jobs)
-    else:
-        graph, stats = enumerate_states(model)
+    with obs.span("cli.enumerate"):
+        with obs.span("phase.model_build"):
+            model = PPControlModel(_model_config(args)).build()
+        with obs.span("phase.enumerate", jobs=jobs or 0):
+            if jobs is None or jobs > 1:
+                graph, stats = enumerate_states_parallel(model, jobs=jobs, obs=obs)
+            else:
+                graph, stats = enumerate_states(model, obs=obs)
     print(stats.format_table())
-    print(f"reachable fraction of 2^bits: {stats.reachable_fraction:.2e}")
     if args.graph_out:
         with open(args.graph_out, "w") as handle:
             handle.write(graph.to_json())
         print(f"state graph written to {args.graph_out}")
+    run_report = None
+    if observer is not None:
+        run_report = RunReport.from_observer(
+            "enumerate", observer,
+            config={"fill_words": args.fill_words,
+                    "extra_pipe_stages": args.extra_pipe_stages,
+                    "jobs": args.jobs},
+            enumeration=dataclasses.asdict(stats),
+        )
+    _finish_observer(args, observer, run_report)
     return 0
 
 
@@ -119,6 +210,8 @@ def cmd_validate(args) -> int:
     from repro.core import ValidationPipeline
     from repro.pp.rtl.core import CoreConfig
 
+    observer = _make_observer(args)
+    obs = resolve(observer)
     pipeline = ValidationPipeline(
         model_config=_model_config(args),
         max_instructions_per_trace=args.limit or None,
@@ -126,60 +219,114 @@ def cmd_validate(args) -> int:
         jobs=_jobs(args),
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        observer=observer,
     )
-    pipeline.build()
-    _print_cache_status(pipeline)
-    config = CoreConfig(mem_latency=0)
-    if args.bug:
-        for bug_id in args.bug:
-            if bug_id not in BUGS:
-                print(f"unknown bug id {bug_id}; known: {sorted(BUGS)}",
-                      file=sys.stderr)
-                return 2
-        config = config.with_bugs(*args.bug)
-        for bug_id in args.bug:
-            print(f"injected bug #{bug_id}: {BUGS[bug_id].title}")
-    report = pipeline.validate(config=config, stop_on_divergence=not args.all)
+    with obs.span("cli.validate"):
+        pipeline.build()
+        _print_cache_status(pipeline)
+        config = CoreConfig(mem_latency=0)
+        if args.bug:
+            for bug_id in args.bug:
+                if bug_id not in BUGS:
+                    print(f"unknown bug id {bug_id}; known: {sorted(BUGS)}",
+                          file=sys.stderr)
+                    return 2
+            config = config.with_bugs(*args.bug)
+            for bug_id in args.bug:
+                print(f"injected bug #{bug_id}: {BUGS[bug_id].title}")
+        report = pipeline.validate(config=config, stop_on_divergence=not args.all)
     print(report.summary())
+    run_report = None
+    if observer is not None:
+        run_report = RunReport.from_validation(
+            report,
+            observer=observer,
+            artifacts=pipeline.artifacts,
+            command="validate",
+            config={"fill_words": args.fill_words,
+                    "extra_pipe_stages": args.extra_pipe_stages,
+                    "limit": args.limit, "seed": args.seed,
+                    "jobs": args.jobs, "bugs": args.bug or []},
+            cache=pipeline.cache_info,
+        )
+    _finish_observer(args, observer, run_report)
     return 0 if report.clean == (not args.bug) else 1
 
 
 def cmd_campaign(args) -> int:
     from repro.harness.campaign import ValidationCampaign
 
-    campaign = ValidationCampaign(
-        model_config=_model_config(args),
-        seed=args.seed,
-        max_instructions_per_trace=args.limit or None,
-        jobs=_jobs(args),
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-    )
-    _print_cache_status(campaign.pipeline)
-    results = campaign.evaluate_all_bugs()
+    observer = _make_observer(args)
+    obs = resolve(observer)
+    with obs.span("cli.campaign"):
+        with obs.span("campaign.build"):
+            campaign = ValidationCampaign(
+                model_config=_model_config(args),
+                seed=args.seed,
+                max_instructions_per_trace=args.limit or None,
+                jobs=_jobs(args),
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                observer=observer,
+            )
+        _print_cache_status(campaign.pipeline)
+        results = campaign.evaluate_all_bugs()
     print(format_campaign_table(results))
     found = sum(r.outcomes["generated"].detected for r in results)
     print(f"\ngenerated vectors found {found}/{len(results)} injected bugs")
+    run_report = None
+    if observer is not None:
+        run_report = RunReport.from_campaign(
+            results,
+            observer=observer,
+            pipeline=campaign.pipeline,
+            command="campaign",
+            config={"fill_words": args.fill_words,
+                    "extra_pipe_stages": args.extra_pipe_stages,
+                    "limit": args.limit, "seed": args.seed,
+                    "jobs": args.jobs},
+            cache=campaign.pipeline.cache_info,
+        )
+    _finish_observer(args, observer, run_report)
     return 0 if found == len(results) else 1
 
 
 def cmd_translate(args) -> int:
+    import dataclasses
+
     from repro.translate import translate_verilog
 
-    with open(args.source) as handle:
-        source = handle.read()
-    model, flat = translate_verilog(source, top=args.top, clock=args.clock)
-    print(f"translated {args.source} (top: {args.top})")
-    print(f"  state variables ({model.state_bits()} bits): "
-          f"{', '.join(model.state_var_names)}")
-    print(f"  free inputs: {', '.join(model.choice_names)}")
-    if args.enumerate:
-        graph, stats = enumerate_states(model, max_states=args.max_states)
-        print(stats.format_table())
-        if args.graph_out:
-            with open(args.graph_out, "w") as handle:
-                handle.write(graph.to_json())
-            print(f"state graph written to {args.graph_out}")
+    observer = _make_observer(args)
+    obs = resolve(observer)
+    stats = None
+    with obs.span("cli.translate"):
+        with open(args.source) as handle:
+            source = handle.read()
+        model, flat = translate_verilog(
+            source, top=args.top, clock=args.clock, obs=obs
+        )
+        print(f"translated {args.source} (top: {args.top})")
+        print(f"  state variables ({model.state_bits()} bits): "
+              f"{', '.join(model.state_var_names)}")
+        print(f"  free inputs: {', '.join(model.choice_names)}")
+        if args.enumerate:
+            with obs.span("phase.enumerate"):
+                graph, stats = enumerate_states(
+                    model, max_states=args.max_states, obs=obs
+                )
+            print(stats.format_table())
+            if args.graph_out:
+                with open(args.graph_out, "w") as handle:
+                    handle.write(graph.to_json())
+                print(f"state graph written to {args.graph_out}")
+    run_report = None
+    if observer is not None:
+        run_report = RunReport.from_observer(
+            "translate", observer,
+            config={"source": args.source, "top": args.top},
+            enumeration=dataclasses.asdict(stats) if stats else None,
+        )
+    _finish_observer(args, observer, run_report)
     return 0
 
 
@@ -202,6 +349,30 @@ def cmd_errata(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    try:
+        report = RunReport.load(args.report)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read run report {args.report}: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.curve:
+        if not report.coverage_curve:
+            print("run report has no coverage-curve data", file=sys.stderr)
+            return 2
+        with open(args.curve, "w") as handle:
+            handle.write("trace_index,cumulative_instructions,"
+                         "cumulative_covered_edges,coverage_fraction\n")
+            for point in report.coverage_curve:
+                handle.write(
+                    f"{point['trace_index']},{point['cumulative_instructions']},"
+                    f"{point['cumulative_covered_edges']},"
+                    f"{point['coverage_fraction']:.6f}\n"
+                )
+        print(f"coverage curve written to {args.curve}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -213,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("enumerate", help="enumerate the PP control state graph")
     _add_model_flags(p)
     _add_jobs_flag(p)
+    _add_obs_flags(p)
     p.add_argument("--graph-out", help="write the state graph as JSON")
     p.set_defaults(func=cmd_enumerate)
 
@@ -227,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_flags(p)
     _add_jobs_flag(p)
     _add_cache_flags(p)
+    _add_obs_flags(p)
     p.add_argument("--limit", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--bug", type=int, action="append",
@@ -239,11 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_flags(p)
     _add_jobs_flag(p)
     _add_cache_flags(p)
+    _add_obs_flags(p)
     p.add_argument("--limit", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("translate", help="translate Verilog to an FSM model")
+    _add_obs_flags(p)
     p.add_argument("source")
     p.add_argument("--top", required=True)
     p.add_argument("--clock", default="clk")
@@ -259,15 +434,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("errata", help="print the R4000 errata table (Table 1.1)")
     p.set_defaults(func=cmd_errata)
+
+    p = sub.add_parser("report",
+                       help="render a saved run report JSON (--metrics-out)")
+    p.add_argument("report", help="path to a run report JSON file")
+    p.add_argument("--curve", metavar="CSV",
+                   help="also export the Fig 4.1 coverage-curve data as CSV")
+    p.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     if getattr(args, "limit", None) == 0:
         args.limit = None
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. `repro report ... | head`);
+        # suppress the traceback and exit quietly like other CLI tools.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

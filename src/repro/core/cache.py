@@ -37,11 +37,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+logger = logging.getLogger("repro.cache")
 
 #: Bump when the pickled artifact layout changes incompatibly.
 CACHE_SCHEMA_VERSION = 1
@@ -135,20 +139,28 @@ class ArtifactCache:
         and overwrites them.
         """
         path = self.pickle_path(key)
+        started = time.perf_counter()
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                artifacts = pickle.load(handle)
         except Exception:
             # Unpickling a corrupt stream can raise nearly anything
             # (UnpicklingError, EOFError, ValueError, UnicodeDecodeError,
             # AttributeError...); every failure mode means the same thing
             # here: not a usable entry, rebuild it.
+            logger.debug("cache miss for %s", key[:12])
             return None
+        logger.debug(
+            "cache hit for %s (%d bytes in %.3fs)",
+            key[:12], path.stat().st_size, time.perf_counter() - started,
+        )
+        return artifacts
 
     def store(
         self, key: str, artifacts: Any, manifest: Optional[Dict[str, Any]] = None
     ) -> Path:
         """Atomically persist ``artifacts`` under ``key``; returns the path."""
+        started = time.perf_counter()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.pickle_path(key)
         fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
@@ -166,6 +178,10 @@ class ArtifactCache:
             self.manifest_path(key).write_text(
                 json.dumps(manifest, indent=2, sort_keys=True, default=repr)
             )
+        logger.debug(
+            "cache store for %s (%d bytes in %.3fs)",
+            key[:12], path.stat().st_size, time.perf_counter() - started,
+        )
         return path
 
     def prune(self) -> int:

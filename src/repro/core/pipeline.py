@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.cache import ArtifactCache, artifact_key
 from repro.enumeration import (
@@ -13,10 +14,13 @@ from repro.enumeration import (
     enumerate_states_parallel,
 )
 from repro.harness.compare import ComparisonResult, run_vector_traces
+from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.pp.rtl.core import CoreConfig
 from repro.tour import TourGenerator, TourSet
 from repro.vectors import TraceSet, VectorGenerator, pp_instruction_cost
+
+logger = logging.getLogger("repro.pipeline")
 
 
 @dataclass
@@ -65,6 +69,11 @@ class ValidationPipeline:
         When false, ``cache_dir`` is still *written* after a build but
         never read -- i.e. ``--no-cache`` forces a rebuild that refreshes
         the entry.
+    observer:
+        Observability sink (:class:`repro.obs.Observer`): every phase of
+        the pipeline runs inside a ``span()`` and flushes counters /
+        histograms to it.  ``None`` resolves to the shared no-op observer
+        (near-zero overhead).
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class ValidationPipeline:
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        observer: Optional[Observer] = None,
     ):
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.max_instructions_per_trace = max_instructions_per_trace
@@ -84,12 +94,22 @@ class ValidationPipeline:
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.use_cache = use_cache
+        self.obs = resolve(observer)
         self.control = PPControlModel(self.model_config)
         self._artifacts: Optional[PipelineArtifacts] = None
         #: True when the last :meth:`build` was served from the cache.
         self.artifacts_from_cache = False
         #: Content address of the last build (set whenever caching is on).
         self.cache_key: Optional[str] = None
+
+    @property
+    def cache_info(self) -> Dict[str, Any]:
+        """Cache provenance of the last build, for run reports."""
+        return {
+            "enabled": self.cache_dir is not None,
+            "hit": self.artifacts_from_cache,
+            "key": self.cache_key,
+        }
 
     def _cache_key(self) -> str:
         return artifact_key(
@@ -115,53 +135,72 @@ class ValidationPipeline:
         cache_dir = self.cache_dir if cache_dir is None else cache_dir
         use_cache = self.use_cache if use_cache is None else use_cache
         jobs = self.jobs if jobs is None else jobs
+        obs = self.obs
 
-        cache = ArtifactCache(cache_dir) if cache_dir else None
-        if cache is not None:
-            self.cache_key = self._cache_key()
-            if use_cache:
-                cached = cache.load(self.cache_key)
-                if cached is not None:
-                    self._artifacts = cached
-                    self.artifacts_from_cache = True
-                    return cached
+        with obs.span("pipeline.build", jobs=jobs or 0):
+            cache = ArtifactCache(cache_dir) if cache_dir else None
+            if cache is not None:
+                self.cache_key = self._cache_key()
+                if use_cache:
+                    with obs.span("phase.cache_load"):
+                        cached = cache.load(self.cache_key)
+                    if cached is not None:
+                        obs.inc("cache.hits")
+                        obs.event("cache.hit", key=self.cache_key)
+                        logger.info("artifact cache hit (%s)", self.cache_key[:12])
+                        self._artifacts = cached
+                        self.artifacts_from_cache = True
+                        return cached
+                    obs.inc("cache.misses")
+                    obs.event("cache.miss", key=self.cache_key)
+                    logger.info("artifact cache miss (%s)", self.cache_key[:12])
 
-        model = self.control.build()
-        if jobs is None or jobs > 1:
-            graph, stats = enumerate_states_parallel(
-                model, jobs=jobs, record_all_conditions=self.record_all_conditions
+            with obs.span("phase.model_build"):
+                model = self.control.build()
+            with obs.span("phase.enumerate", jobs=jobs or 0):
+                if jobs is None or jobs > 1:
+                    graph, stats = enumerate_states_parallel(
+                        model, jobs=jobs,
+                        record_all_conditions=self.record_all_conditions,
+                        obs=obs,
+                    )
+                else:
+                    graph, stats = enumerate_states(
+                        model,
+                        record_all_conditions=self.record_all_conditions,
+                        obs=obs,
+                    )
+            with obs.span("phase.tours"):
+                cost = pp_instruction_cost(self.control, graph)
+                tours = TourGenerator(
+                    graph,
+                    instruction_cost=cost,
+                    max_instructions_per_trace=self.max_instructions_per_trace,
+                ).generate(obs=obs)
+            with obs.span("phase.vectors"):
+                traces = VectorGenerator(
+                    self.control, graph, seed=self.seed
+                ).generate(list(tours), obs=obs)
+            self._artifacts = PipelineArtifacts(
+                graph=graph, enumeration=stats, tours=tours, traces=traces
             )
-        else:
-            graph, stats = enumerate_states(
-                model, record_all_conditions=self.record_all_conditions
-            )
-        cost = pp_instruction_cost(self.control, graph)
-        tours = TourGenerator(
-            graph,
-            instruction_cost=cost,
-            max_instructions_per_trace=self.max_instructions_per_trace,
-        ).generate()
-        traces = VectorGenerator(self.control, graph, seed=self.seed).generate(
-            list(tours)
-        )
-        self._artifacts = PipelineArtifacts(
-            graph=graph, enumeration=stats, tours=tours, traces=traces
-        )
-        self.artifacts_from_cache = False
-        if cache is not None:
-            cache.store(
-                self.cache_key,
-                self._artifacts,
-                manifest={
-                    "model_config": self.model_config,
-                    "record_all_conditions": self.record_all_conditions,
-                    "max_instructions_per_trace": self.max_instructions_per_trace,
-                    "seed": self.seed,
-                    "num_states": graph.num_states,
-                    "num_edges": graph.num_edges,
-                    "num_traces": traces.num_traces,
-                },
-            )
+            self.artifacts_from_cache = False
+            if cache is not None:
+                with obs.span("phase.cache_store"):
+                    cache.store(
+                        self.cache_key,
+                        self._artifacts,
+                        manifest={
+                            "model_config": self.model_config,
+                            "record_all_conditions": self.record_all_conditions,
+                            "max_instructions_per_trace": self.max_instructions_per_trace,
+                            "seed": self.seed,
+                            "num_states": graph.num_states,
+                            "num_edges": graph.num_edges,
+                            "num_traces": traces.num_traces,
+                        },
+                    )
+                obs.inc("cache.stores")
         return self._artifacts
 
     @property
@@ -186,12 +225,14 @@ class ValidationPipeline:
 
         config = config or CoreConfig(mem_latency=0)
         jobs = self.jobs if jobs is None else jobs
-        results, diverging = run_vector_traces(
-            self.artifacts.traces,
-            config=config,
-            jobs=jobs,
-            stop_on_divergence=stop_on_divergence,
-        )
+        with self.obs.span("pipeline.validate", jobs=jobs or 0):
+            results, diverging = run_vector_traces(
+                self.artifacts.traces,
+                config=config,
+                jobs=jobs,
+                stop_on_divergence=stop_on_divergence,
+                obs=self.obs,
+            )
         return ValidationReport(
             config=config,
             traces_run=len(results),

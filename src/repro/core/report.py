@@ -41,12 +41,25 @@ class ValidationReport:
         lines = [header + f" -- {len(self.diverging_traces)} diverging trace(s)"]
         for index in self.diverging_traces[:5]:
             lines.append(f"  trace {index}: {self.results[index].describe()}")
+        if len(self.diverging_traces) > 5:
+            lines.append(f"  ... and {len(self.diverging_traces) - 5} more")
         return "\n".join(lines)
 
 
 def format_campaign_table(results: Sequence[CampaignResult]) -> str:
-    """Render a Table 2.1-style matrix: bug x method -> found / missed."""
-    methods = ["generated", "random", "directed"]
+    """Render a Table 2.1-style matrix: bug x method -> found / missed.
+
+    Method columns are derived from the results (first-seen order), so a
+    campaign run with a new or restricted method set renders its actual
+    outcomes instead of silently showing ``-`` under hardcoded columns.
+    """
+    methods: List[str] = []
+    for result in results:
+        for method in result.outcomes:
+            if method not in methods:
+                methods.append(method)
+    if not methods:
+        methods = ["generated", "random", "directed"]
     lines = [
         f"{'Bug':<6}" + "".join(f"{m:>22}" for m in methods),
     ]

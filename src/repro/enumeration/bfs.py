@@ -13,6 +13,7 @@ via ``record_all_conditions=True`` and is benchmarked as an ablation.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -20,8 +21,11 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.enumeration.graph import StateGraph
 from repro.enumeration.stats import EnumerationStats
+from repro.obs.observer import Observer, resolve
 from repro.smurphi.model import SyncModel
 from repro.smurphi.state import StateCodec
+
+logger = logging.getLogger("repro.enumeration")
 
 
 class EnumerationError(Exception):
@@ -45,6 +49,7 @@ def enumerate_states(
     max_states: Optional[int] = None,
     record_all_conditions: bool = False,
     check_invariants: bool = True,
+    obs: Optional[Observer] = None,
 ) -> Tuple[StateGraph, EnumerationStats]:
     """Fully enumerate ``model`` from reset; return its state graph and stats.
 
@@ -62,7 +67,15 @@ def enumerate_states(
         fewer-behaviours failure mode of Fig. 4.2.
     check_invariants:
         Evaluate the model's invariants on every reachable state.
+    obs:
+        Observability sink (:class:`repro.obs.Observer`); receives per-wave
+        frontier sizes plus end-of-run counters (``enum.states``,
+        ``enum.transitions_explored``, ``enum.edges``, ``enum.waves``).
+        ``None`` is the no-op fast path.  Hot-loop accounting stays in
+        local variables and flushes at wave boundaries, so instrumentation
+        cost is independent of transition count.
     """
+    obs = resolve(obs)
     codec = StateCodec(model.state_vars)
     graph = StateGraph(model.choice_names)
     started = time.perf_counter()
@@ -83,8 +96,25 @@ def enumerate_states(
         if violated:
             raise InvariantViolation(reset_id, dict(reset), tuple(violated))
 
+    # BFS wave accounting: ids are assigned in discovery order and the
+    # frontier is FIFO, so the states of wave k+1 are exactly the ids
+    # discovered while wave k was being expanded.  Popping an id beyond
+    # the current wave's last id therefore marks a wave boundary.
+    waves = 1
+    wave_last = reset_id
+    wave_size = 1
+
     while frontier:
         src_id = frontier.popleft()
+        if src_id > wave_last:
+            obs.observe("enum.wave.frontier_states", wave_size)
+            obs.event("enum.wave", wave=waves - 1, frontier=wave_size,
+                      states=graph.num_states,
+                      transitions=transitions_explored)
+            waves += 1
+            previous_last = wave_last
+            wave_last = graph.num_states - 1
+            wave_size = wave_last - previous_last
         src_state = codec.unpack(graph.state_key(src_id))
         for choice in model.enumerate_choices(src_state):
             transitions_explored += 1
@@ -112,6 +142,20 @@ def enumerate_states(
                 graph.add_edge(src_id, dst_id, condition)
 
     elapsed = time.perf_counter() - started
+    obs.observe("enum.wave.frontier_states", wave_size)
+    obs.event("enum.wave", wave=waves - 1, frontier=wave_size,
+              states=graph.num_states, transitions=transitions_explored)
+    obs.inc("enum.states", graph.num_states)
+    obs.inc("enum.transitions_explored", transitions_explored)
+    obs.inc("enum.edges", graph.num_edges)
+    obs.inc("enum.waves", waves)
+    obs.gauge("enum.bits_per_state", model.state_bits())
+    obs.observe("enum.seconds", elapsed, mode="sequential")
+    logger.info(
+        "enumerated %s: %d states, %d edges, %d transitions, %d waves in %.3fs",
+        model.name, graph.num_states, graph.num_edges,
+        transitions_explored, waves, elapsed,
+    )
     stats = EnumerationStats(
         model_name=model.name,
         num_states=graph.num_states,

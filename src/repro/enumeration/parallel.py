@@ -40,10 +40,11 @@ never depends on parallelism being available.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.enumeration.bfs import (
     EnumerationError,
@@ -53,13 +54,20 @@ from repro.enumeration.bfs import (
 )
 from repro.enumeration.graph import StateGraph
 from repro.enumeration.stats import EnumerationStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer, resolve
 from repro.smurphi.model import SyncModel
 from repro.smurphi.state import StateCodec
+
+logger = logging.getLogger("repro.enumeration")
 
 #: Model published by the coordinator immediately before the pool forks;
 #: worker processes inherit it (closures and all) without pickling.
 _WORKER_MODEL: Optional[SyncModel] = None
 _WORKER_CODEC: Optional[StateCodec] = None
+#: Whether workers should collect per-shard metrics snapshots (set by the
+#: coordinator before the fork; False keeps the no-sink path overhead-free).
+_WORKER_COLLECT: bool = False
 
 
 def _init_worker() -> None:
@@ -68,12 +76,18 @@ def _init_worker() -> None:
     _WORKER_CODEC = StateCodec(_WORKER_MODEL.state_vars)
 
 
-def _expand_batch(packed_keys: Sequence[int]) -> List[List[Tuple[Tuple, int]]]:
+def _expand_batch(
+    packed_keys: Sequence[int],
+) -> Tuple[List[List[Tuple[Tuple, int]]], Optional[Dict[str, Any]]]:
     """Expand a batch of states; one row of (condition, packed_dst) per state.
 
     Rows preserve the model's choice enumeration order, which the
-    coordinator relies on to replay transitions canonically.
+    coordinator relies on to replay transitions canonically.  When metric
+    collection is on, the second element is a worker-local
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot (per-shard timing
+    and counts, labeled by worker pid) for the coordinator to merge.
     """
+    started = time.perf_counter()
     model = _WORKER_MODEL
     codec = _WORKER_CODEC
     names = model.choice_names
@@ -85,7 +99,16 @@ def _expand_batch(packed_keys: Sequence[int]) -> List[List[Tuple[Tuple, int]]]:
             nxt = model.step(state, choice)
             row.append((tuple(choice[n] for n in names), codec.pack(nxt)))
         rows.append(row)
-    return rows
+    if not _WORKER_COLLECT:
+        return rows, None
+    registry = MetricsRegistry()
+    worker = str(os.getpid())
+    registry.inc("enum.shard.states", len(rows), worker=worker)
+    registry.inc("enum.shard.transitions", sum(len(r) for r in rows), worker=worker)
+    registry.observe(
+        "enum.shard.seconds", time.perf_counter() - started, worker=worker
+    )
+    return rows, registry.snapshot()
 
 
 def _shard(items: Sequence, num_shards: int) -> List[List]:
@@ -100,6 +123,7 @@ def enumerate_states_parallel(
     max_states: Optional[int] = None,
     record_all_conditions: bool = False,
     check_invariants: bool = True,
+    obs: Optional[Observer] = None,
 ) -> Tuple[StateGraph, EnumerationStats]:
     """Enumerate ``model`` with ``jobs`` worker processes.
 
@@ -108,7 +132,15 @@ def enumerate_states_parallel(
     :func:`~repro.enumeration.bfs.enumerate_states`.  ``jobs=None`` uses
     every CPU; ``jobs<=1`` (or platforms without ``fork``) runs the
     sequential enumerator directly.
+
+    ``obs`` receives the same coordinator-side counters as the sequential
+    path (``enum.states`` / ``enum.transitions_explored`` / ``enum.edges``
+    / ``enum.waves`` -- totals are identical for identical inputs,
+    regardless of ``jobs``) plus merged worker-side shard metrics
+    (``enum.shard.*``, labeled by worker pid): each forked worker snapshots
+    a private registry per shard and the coordinator folds it in.
     """
+    obs = resolve(obs)
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -117,9 +149,10 @@ def enumerate_states_parallel(
             max_states=max_states,
             record_all_conditions=record_all_conditions,
             check_invariants=check_invariants,
+            obs=obs,
         )
 
-    global _WORKER_MODEL
+    global _WORKER_MODEL, _WORKER_COLLECT
     codec = StateCodec(model.state_vars)
     graph = StateGraph(model.choice_names)
     started = time.perf_counter()
@@ -139,13 +172,19 @@ def enumerate_states_parallel(
 
     ctx = multiprocessing.get_context("fork")
     _WORKER_MODEL = model
+    _WORKER_COLLECT = obs.enabled
+    waves = 0
     try:
         with ctx.Pool(processes=jobs, initializer=_init_worker) as pool:
             while wave:
+                wave_started = time.perf_counter()
                 keys = [graph.state_key(src) for src in wave]
                 # Oversplit so a skewed shard cannot stall the whole wave.
                 shards = _shard(keys, jobs * 4)
-                rows = [row for shard in pool.map(_expand_batch, shards) for row in shard]
+                rows: List[List[Tuple[Tuple, int]]] = []
+                for shard_rows, shard_metrics in pool.map(_expand_batch, shards):
+                    rows.extend(shard_rows)
+                    obs.merge(shard_metrics)
                 next_wave: List[int] = []
                 for src_id, row in zip(wave, rows):
                     for condition, packed_dst in row:
@@ -172,11 +211,30 @@ def enumerate_states_parallel(
                         if arc_key not in seen_arcs:
                             seen_arcs.add(arc_key)
                             graph.add_edge(src_id, dst_id, condition)
+                obs.observe("enum.wave.frontier_states", len(wave))
+                obs.event("enum.wave", wave=waves, frontier=len(wave),
+                          shards=len(shards), states=graph.num_states,
+                          transitions=transitions_explored,
+                          seconds=time.perf_counter() - wave_started)
+                waves += 1
                 wave = next_wave
     finally:
         _WORKER_MODEL = None
+        _WORKER_COLLECT = False
 
     elapsed = time.perf_counter() - started
+    obs.inc("enum.states", graph.num_states)
+    obs.inc("enum.transitions_explored", transitions_explored)
+    obs.inc("enum.edges", graph.num_edges)
+    obs.inc("enum.waves", waves)
+    obs.gauge("enum.bits_per_state", model.state_bits())
+    obs.observe("enum.seconds", elapsed, mode="parallel")
+    logger.info(
+        "enumerated %s with %d workers: %d states, %d edges, "
+        "%d transitions, %d waves in %.3fs",
+        model.name, jobs, graph.num_states, graph.num_edges,
+        transitions_explored, waves, elapsed,
+    )
     stats = EnumerationStats(
         model_name=model.name,
         num_states=graph.num_states,

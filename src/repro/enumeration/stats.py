@@ -36,6 +36,10 @@ class EnumerationStats:
             ("Execution Time", f"{self.elapsed_seconds:,.2f} secs."),
             ("Memory Requirement", f"{self.approx_memory_bytes / (1024 * 1024):.1f} MB"),
             ("Number of Edges in State Graph", f"{self.num_edges:,}"),
+            ("Transitions Explored", f"{self.transitions_explored:,}"),
+            # Scientific notation: the paper's observation is the *scale*
+            # gap (~2^18 reachable of 2^98 possible).
+            ("Reachable Fraction of 2^bits", f"{self.reachable_fraction:.2e}"),
         ]
 
     def format_table(self) -> str:

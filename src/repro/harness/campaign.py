@@ -8,6 +8,7 @@ reporting which method finds which bug and at what simulation cost.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -15,8 +16,11 @@ from repro.bugs.catalog import BUGS
 from repro.harness.compare import ComparisonResult, run_vector_traces
 from repro.harness.directed import directed_tests
 from repro.harness.random_testing import random_campaign
+from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPModelConfig
 from repro.pp.rtl.core import CoreConfig
+
+logger = logging.getLogger("repro.harness")
 
 
 @dataclass
@@ -62,6 +66,9 @@ class ValidationCampaign:
     cache_dir / use_cache:
         Persistent artifact cache settings, forwarded to
         :class:`~repro.core.pipeline.ValidationPipeline`.
+    observer:
+        Observability sink (:class:`repro.obs.Observer`), forwarded to the
+        pipeline and wrapped around every bug x method evaluation.
     """
 
     def __init__(
@@ -72,12 +79,14 @@ class ValidationCampaign:
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        observer: Optional[Observer] = None,
     ):
         from repro.core.pipeline import ValidationPipeline
 
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.seed = seed
         self.jobs = jobs
+        self.obs = resolve(observer)
         self.pipeline = ValidationPipeline(
             model_config=self.model_config,
             max_instructions_per_trace=max_instructions_per_trace,
@@ -85,6 +94,7 @@ class ValidationCampaign:
             jobs=jobs,
             cache_dir=cache_dir,
             use_cache=use_cache,
+            observer=observer,
         )
         artifacts = self.pipeline.build()
         self.control = self.pipeline.control
@@ -112,6 +122,7 @@ class ValidationCampaign:
         results, diverging = run_vector_traces(
             self.traces, config=config, jobs=jobs,
             stop_on_divergence=stop_on_detection,
+            obs=self.obs,
         )
         traces = list(self.traces)
         instructions = sum(t.num_instructions for t in traces[: len(results)])
@@ -183,13 +194,34 @@ class ValidationCampaign:
         config = base_config or CoreConfig(mem_latency=0)
         if bug_id is not None:
             config = config.with_bugs(bug_id)
+        bug_label = "clean" if bug_id is None else str(bug_id)
+        runners = {
+            "generated": self.run_generated,
+            "random": self.run_random,
+            "directed": self.run_directed,
+        }
         result = CampaignResult(bug_id=bug_id)
-        if "generated" in methods:
-            result.outcomes["generated"] = self.run_generated(config)
-        if "random" in methods:
-            result.outcomes["random"] = self.run_random(config)
-        if "directed" in methods:
-            result.outcomes["directed"] = self.run_directed(config)
+        with self.obs.span("campaign.bug", bug=bug_label):
+            for method in ("generated", "random", "directed"):
+                if method not in methods:
+                    continue
+                with self.obs.span("campaign.method", method=method, bug=bug_label):
+                    outcome = runners[method](config)
+                result.outcomes[method] = outcome
+                self.obs.inc("campaign.evaluations", method=method)
+                self.obs.observe(
+                    "campaign.instructions_run",
+                    outcome.instructions_run,
+                    method=method,
+                )
+                if outcome.detected:
+                    self.obs.inc("campaign.detections", method=method)
+                logger.info(
+                    "campaign bug=%s method=%s: %s after %d traces / %d instructions",
+                    bug_label, method,
+                    "detected" if outcome.detected else "missed",
+                    outcome.traces_run, outcome.instructions_run,
+                )
         return result
 
     def evaluate_all_bugs(

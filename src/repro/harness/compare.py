@@ -8,16 +8,20 @@ regardless of how many workers simulate concurrently.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.observer import Observer, resolve
 from repro.pp.isa import Instruction
 from repro.pp.rtl.core import BRANCH_OPCODES, CoreConfig, PPCore
 from repro.pp.rtl.stimulus import StimulusSource
 from repro.pp.spec import ArchState, SpecSimulator
 from repro.vectors.generator import TestVectorTrace
+
+logger = logging.getLogger("repro.harness")
 
 #: Inbox task words shared by both models in comparison runs.
 DEFAULT_INBOX = tuple(range(0x1000, 0x1000 + 256))
@@ -133,11 +137,25 @@ def _run_trace_job(trace: TestVectorTrace) -> ComparisonResult:
     return run_vector_trace(trace, config=_TRACE_WORKER_CONFIG)
 
 
+def _record_result(obs: Observer, index: int, result: ComparisonResult) -> None:
+    """Per-trace comparison metrics (coordinator side, both modes)."""
+    obs.inc("compare.traces_run")
+    obs.inc("compare.instructions_run", result.instructions)
+    obs.inc("compare.cycles_run", result.cycles)
+    obs.observe("compare.trace_instructions", result.instructions)
+    obs.observe("compare.trace_cycles", result.cycles)
+    if result.diverged:
+        obs.inc("compare.divergences")
+        obs.event("compare.divergence", trace=index, detail=result.describe())
+        logger.info("trace %d diverged: %s", index, result.describe())
+
+
 def run_vector_traces(
     traces: Iterable[TestVectorTrace],
     config: Optional[CoreConfig] = None,
     jobs: Optional[int] = 1,
     stop_on_divergence: bool = True,
+    obs: Optional[Observer] = None,
 ) -> Tuple[List[ComparisonResult], List[int]]:
     """Run many traces; return ``(results, diverging_indices)`` in trace order.
 
@@ -146,7 +164,12 @@ def run_vector_traces(
     with ``stop_on_divergence`` the result list ends at the first diverging
     trace -- exactly where the sequential loop would have stopped -- even
     if workers raced ahead on later traces.  ``jobs=None`` uses every CPU.
+
+    ``obs`` receives per-trace instruction/cycle histograms, running
+    ``compare.*`` counters, and a ``compare.divergence`` event (with the
+    divergence site) for every diverging trace.
     """
+    obs = resolve(obs)
     config = config or CoreConfig(mem_latency=0)
     traces = list(traces)
     if jobs is None:
@@ -162,6 +185,7 @@ def run_vector_traces(
         for index, trace in enumerate(traces):
             result = run_vector_trace(trace, config=config)
             results.append(result)
+            _record_result(obs, index, result)
             if result.diverged:
                 diverging.append(index)
                 if stop_on_divergence:
@@ -177,6 +201,7 @@ def run_vector_traces(
     try:
         for index, result in enumerate(pool.imap(_run_trace_job, traces)):
             results.append(result)
+            _record_result(obs, index, result)
             if result.diverged:
                 diverging.append(index)
                 if stop_on_divergence:

@@ -1,0 +1,56 @@
+"""Observability for the validation pipeline: metrics, tracing, reports.
+
+The paper's methodology is coverage-driven -- its results *are*
+observability artifacts (enumeration statistics, bug-detection matrices,
+coverage-vs-instructions curves) -- so the pipeline exposes first-class
+runtime signals:
+
+- :class:`MetricsRegistry` -- process-wide counters / gauges /
+  histograms with labels, snapshot-able to JSON and merge-able across
+  forked workers (:mod:`repro.obs.metrics`);
+- :class:`Tracer` -- a structured JSONL event stream with nested
+  ``span()`` phase timers and a Chrome ``trace_event`` exporter for
+  ``chrome://tracing`` / Perfetto (:mod:`repro.obs.trace`);
+- :class:`Observer` -- the facade instrumented code receives; the shared
+  :data:`NULL_OBSERVER` makes every hook a no-op when no sinks are
+  configured (:mod:`repro.obs.observer`);
+- :class:`RunReport` -- one machine-readable JSON document unifying
+  stats, divergences, cache provenance, per-phase wall/CPU time and
+  coverage-curve data, rendered by ``repro report``
+  (:mod:`repro.obs.report`).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    validate_metrics_snapshot,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, resolve
+from repro.obs.report import RUN_REPORT_SCHEMA, RunReport, validate_run_report
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    Tracer,
+    chrome_trace_from_events,
+    read_jsonl_trace,
+    validate_trace_events,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "validate_metrics_snapshot",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "resolve",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "validate_run_report",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "chrome_trace_from_events",
+    "read_jsonl_trace",
+    "validate_trace_events",
+]

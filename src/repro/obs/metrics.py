@@ -1,0 +1,250 @@
+"""Process-wide metrics: counters, gauges, and histograms with labels.
+
+The registry is the numeric half of the observability layer (the event
+half lives in :mod:`repro.obs.trace`).  Three metric kinds cover every
+signal the pipeline emits:
+
+- **counters** -- monotonically increasing totals (states interned,
+  transitions explored, cache hits); merging *sums* them;
+- **gauges** -- last-observed values (frontier depth, state bits);
+  merging is last-write-wins;
+- **histograms** -- distributions (per-wave frontier sizes, per-shard
+  worker seconds, per-trace instruction counts) stored as count / sum /
+  min / max plus cumulative bucket counts; merging adds component-wise.
+
+Every metric takes optional string labels (``worker="1234"``), so one
+name can carry per-worker or per-method breakdowns while the unlabeled
+total stays queryable via :meth:`MetricsRegistry.total`.
+
+Snapshots are plain JSON-able dicts (schema :data:`METRICS_SCHEMA`), and
+:meth:`MetricsRegistry.merge` folds a snapshot back into a registry --
+that is how metrics recorded inside forked parallel-enumeration workers
+flow back to the coordinator: each worker snapshots a private registry,
+ships the dict with its results, and the coordinator merges.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Snapshot format version; embedded in every snapshot for validation.
+METRICS_SCHEMA = "repro.metrics/1"
+
+#: Default histogram bucket upper bounds.  Geometric 1-5 spacing spans
+#: both sub-millisecond timings (seconds) and count-valued observations
+#: (frontier sizes, instructions per trace); the implicit +inf bucket
+#: catches everything above.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+    1, 5, 10, 50, 100, 500,
+    1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+)
+
+#: Internal key: (name, sorted label items).
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> _Key:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class _Histogram:
+    __slots__ = ("count", "sum", "min", "max", "buckets", "bounds")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.bounds = tuple(bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * (len(self.bounds) + 1)  # last = +inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """In-process metric store; snapshot-able to JSON, merge-able back.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("enum.states", 42)
+    >>> registry.observe("enum.wave.frontier_states", 17, mode="parallel")
+    >>> registry.total("enum.states")
+    42
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, _Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = _Histogram()
+        histogram.observe(value)
+
+    # -- querying ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """The exact counter for ``name`` under exactly these labels."""
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        return self._gauges.get(_key(name, labels))
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across every label set it was recorded under."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def histogram_stats(self, name: str, **labels: Any) -> Optional[Dict[str, float]]:
+        histogram = self._histograms.get(_key(name, labels))
+        if histogram is None:
+            return None
+        return {
+            "count": histogram.count,
+            "sum": histogram.sum,
+            "min": histogram.min,
+            "max": histogram.max,
+            "mean": histogram.mean,
+        }
+
+    def counter_names(self) -> List[str]:
+        return sorted({name for name, _ in self._counters})
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able dict of every metric (schema ``repro.metrics/1``)."""
+
+        def rows(table: Dict[_Key, float]) -> List[Dict[str, Any]]:
+            return [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(table.items())
+            ]
+
+        histogram_rows = []
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            histogram_rows.append({
+                "name": name,
+                "labels": dict(labels),
+                "count": histogram.count,
+                "sum": histogram.sum,
+                "min": histogram.min,
+                "max": histogram.max,
+                "bounds": list(histogram.bounds),
+                "buckets": list(histogram.buckets),
+            })
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": rows(self._counters),
+            "gauges": rows(self._gauges),
+            "histograms": histogram_rows,
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters add, gauges take the snapshot's value, histograms merge
+        component-wise (requires matching bucket bounds -- always true for
+        snapshots produced by this module's defaults).
+        """
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snapshot.get('schema')!r}; expected {METRICS_SCHEMA!r}"
+            )
+        for row in snapshot.get("counters", []):
+            self.inc(row["name"], row["value"], **row.get("labels", {}))
+        for row in snapshot.get("gauges", []):
+            self.gauge(row["name"], row["value"], **row.get("labels", {}))
+        for row in snapshot.get("histograms", []):
+            key = _key(row["name"], row.get("labels", {}))
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(row["bounds"])
+            elif tuple(row["bounds"]) != histogram.bounds:
+                raise ValueError(
+                    f"histogram {row['name']!r} bucket bounds mismatch"
+                )
+            histogram.count += row["count"]
+            histogram.sum += row["sum"]
+            for bound_stat in ("min", "max"):
+                incoming = row.get(bound_stat)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, bound_stat)
+                if current is None:
+                    setattr(histogram, bound_stat, incoming)
+                elif bound_stat == "min":
+                    histogram.min = min(current, incoming)
+                else:
+                    histogram.max = max(current, incoming)
+            for index, count in enumerate(row["buckets"]):
+                histogram.buckets[index] += count
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry
+
+
+def validate_metrics_snapshot(snapshot: Mapping[str, Any]) -> List[str]:
+    """Structural validation of a snapshot; returns a list of problems.
+
+    Used by the CI smoke (and anyone consuming ``--metrics-out`` files)
+    to verify emitted JSON matches the documented schema without pulling
+    in a JSON-Schema dependency.
+    """
+    problems: List[str] = []
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema is {snapshot.get('schema')!r}")
+    for section in ("counters", "gauges", "histograms"):
+        rows = snapshot.get(section)
+        if not isinstance(rows, list):
+            problems.append(f"{section} is not a list")
+            continue
+        for row in rows:
+            if not isinstance(row.get("name"), str):
+                problems.append(f"{section} row without a string name: {row!r}")
+            if not isinstance(row.get("labels"), dict):
+                problems.append(f"{section} row without labels dict: {row!r}")
+            if section == "histograms":
+                if len(row.get("buckets", [])) != len(row.get("bounds", [])) + 1:
+                    problems.append(
+                        f"histogram {row.get('name')!r} bucket/bound mismatch"
+                    )
+            elif not isinstance(row.get("value"), (int, float)):
+                problems.append(f"{section} row without numeric value: {row!r}")
+    return problems

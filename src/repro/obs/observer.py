@@ -1,0 +1,173 @@
+"""The observability facade instrumented code talks to.
+
+Pipeline stages accept an optional :class:`Observer` and call four
+methods: ``span()`` (nested phase timer), ``event()`` (point-in-time
+fact), ``inc``/``gauge``/``observe`` (metrics).  Passing ``None``
+resolves to the shared :data:`NULL_OBSERVER`, whose every method is a
+cheap no-op -- the un-instrumented fast path.  Instrumented hot loops
+additionally keep their own local counters and flush to the observer at
+phase or wave boundaries, so the per-transition cost of observability is
+zero even when sinks *are* configured.
+
+An :class:`Observer` always accumulates completed :class:`PhaseTiming`
+records (name, depth, wall, cpu) in memory -- that is what
+:class:`~repro.obs.report.RunReport` renders as the per-phase time table
+-- and mirrors spans/events to a :class:`~repro.obs.trace.Tracer` when
+one is attached.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, ContextManager, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+logger = logging.getLogger("repro.obs")
+
+
+@dataclass
+class PhaseTiming:
+    """One completed span: where the run's time went."""
+
+    name: str
+    depth: int
+    start: float  # seconds since the observer's epoch
+    wall: float
+    cpu: float
+    attrs: dict = field(default_factory=dict)
+
+
+class Observer:
+    """Live observer: records phases, mirrors to metrics and the tracer."""
+
+    #: False only on :class:`NullObserver`; lets hot paths skip work
+    #: (e.g. per-wave bookkeeping) entirely when nothing is listening.
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.phases: List[PhaseTiming] = []
+        self._depth = 0
+        self._epoch = time.perf_counter()
+
+    # -- spans and events ------------------------------------------------------
+
+    @contextmanager
+    def _span(self, name: str, attrs: dict):
+        start = time.perf_counter() - self._epoch
+        start_cpu = time.process_time()
+        depth = self._depth
+        self._depth += 1
+        try:
+            if self.tracer is not None:
+                with self.tracer.span(name, **attrs):
+                    yield self
+            else:
+                yield self
+        finally:
+            self._depth -= 1
+            wall = time.perf_counter() - self._epoch - start
+            cpu = time.process_time() - start_cpu
+            self.phases.append(
+                PhaseTiming(name=name, depth=depth, start=start,
+                            wall=wall, cpu=cpu, attrs=attrs)
+            )
+            self.metrics.observe("phase.wall_seconds", wall, phase=name)
+            logger.debug("phase %s: wall=%.4fs cpu=%.4fs", name, wall, cpu)
+
+    def span(self, name: str, **attrs: Any) -> ContextManager["Observer"]:
+        return self._span(name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, **attrs)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        self.metrics.inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.metrics.observe(name, value, **labels)
+
+    def merge(self, snapshot) -> None:
+        """Fold a worker-side metrics snapshot into this observer."""
+        if snapshot:
+            self.metrics.merge(snapshot)
+
+    # -- reporting -------------------------------------------------------------
+
+    def phase_coverage(self) -> float:
+        """Fraction of the root span's wall time covered by its children.
+
+        The acceptance bar for instrumentation completeness: child spans
+        must account for >= 95% of a run's total wall time.  Returns 1.0
+        when there is no nesting to measure.
+        """
+        roots = [p for p in self.phases if p.depth == 0]
+        children = [p for p in self.phases if p.depth == 1]
+        total = sum(p.wall for p in roots)
+        if not total or not children:
+            return 1.0 if not children else 0.0
+        return min(1.0, sum(p.wall for p in children) / total)
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+class NullObserver(Observer):
+    """The do-nothing observer: every hook is a constant-time no-op."""
+
+    enabled = False
+
+    def __init__(self):  # no registry allocation on the fast path
+        self.metrics = _NULL_REGISTRY
+        self.tracer = None
+        self.phases = []
+
+    def span(self, name: str, **attrs: Any) -> ContextManager[None]:
+        return _NULL_CONTEXT
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        pass
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def merge(self, snapshot) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_CONTEXT: ContextManager[None] = nullcontext()
+_NULL_REGISTRY = MetricsRegistry()
+
+#: Shared no-op observer; ``resolve(None)`` returns it.
+NULL_OBSERVER = NullObserver()
+
+
+def resolve(obs: Optional[Observer]) -> Observer:
+    """``None`` -> the shared no-op observer; anything else unchanged."""
+    return NULL_OBSERVER if obs is None else obs

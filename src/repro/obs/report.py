@@ -1,0 +1,344 @@
+"""The unified machine-readable run report.
+
+A validation run's observable outputs were scattered -- Table 3.2 stats
+on stdout, divergences in a :class:`~repro.core.report.ValidationReport`,
+cache provenance in pipeline attributes, timings nowhere.  A
+:class:`RunReport` gathers all of it into one JSON document (schema
+:data:`RUN_REPORT_SCHEMA`) that ``--metrics-out`` writes and the
+``repro report`` CLI subcommand renders back into the human tables,
+including Fig 4.1-style coverage-curve data (cumulative arcs covered vs
+instructions simulated, one point per generated trace).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.enumeration.stats import EnumerationStats
+from repro.obs.observer import Observer, PhaseTiming
+
+#: Report format version; embedded in every document.
+RUN_REPORT_SCHEMA = "repro.run-report/1"
+
+
+@dataclass
+class RunReport:
+    """Everything one pipeline run produced, as one JSON-able document."""
+
+    command: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    enumeration: Optional[Dict[str, Any]] = None
+    tour_stats: Optional[Dict[str, Any]] = None
+    comparison: Optional[Dict[str, Any]] = None
+    campaign: Optional[List[Dict[str, Any]]] = None
+    cache: Dict[str, Any] = field(default_factory=dict)
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    coverage_curve: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    schema: str = RUN_REPORT_SCHEMA
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_observer(
+        cls, command: str, observer: Observer, **fields: Any
+    ) -> "RunReport":
+        """A report carrying the observer's phases + metrics plus ``fields``."""
+        return cls(
+            command=command,
+            phases=_phase_rows(observer),
+            metrics=observer.metrics.snapshot(),
+            **fields,
+        )
+
+    @classmethod
+    def from_validation(
+        cls,
+        validation,  # repro.core.report.ValidationReport
+        observer: Optional[Observer] = None,
+        artifacts=None,  # repro.core.pipeline.PipelineArtifacts
+        command: str = "validate",
+        config: Optional[Dict[str, Any]] = None,
+        cache: Optional[Dict[str, Any]] = None,
+    ) -> "RunReport":
+        comparison = {
+            "traces_run": validation.traces_run,
+            "total_traces": validation.total_traces,
+            "diverging_traces": list(validation.diverging_traces),
+            "clean": validation.clean,
+            "per_trace": [
+                {
+                    "instructions": r.instructions,
+                    "cycles": r.cycles,
+                    "diverged": r.diverged,
+                    "deadlocked": r.deadlocked,
+                }
+                for r in validation.results
+            ],
+            "divergence_sites": [
+                {"trace": index, "detail": validation.results[index].describe()}
+                for index in validation.diverging_traces
+            ],
+        }
+        curve: List[Dict[str, Any]] = []
+        if artifacts is not None:
+            from repro.tour.coverage import coverage_curve
+
+            curve = [
+                dataclasses.asdict(point)
+                for point in coverage_curve(
+                    artifacts.graph, artifacts.tours
+                )
+            ]
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            enumeration=dataclasses.asdict(validation.enumeration),
+            tour_stats=dataclasses.asdict(validation.tour_stats),
+            comparison=comparison,
+            cache=dict(cache or {"enabled": False, "hit": validation.from_cache}),
+            phases=_phase_rows(observer),
+            coverage_curve=curve,
+            metrics=observer.metrics.snapshot() if observer is not None else {},
+        )
+
+    @classmethod
+    def from_campaign(
+        cls,
+        results,  # Sequence[repro.harness.campaign.CampaignResult]
+        observer: Optional[Observer] = None,
+        pipeline=None,  # repro.core.pipeline.ValidationPipeline
+        command: str = "campaign",
+        config: Optional[Dict[str, Any]] = None,
+        cache: Optional[Dict[str, Any]] = None,
+    ) -> "RunReport":
+        campaign = [
+            {
+                "bug_id": result.bug_id,
+                "outcomes": {
+                    method: {
+                        "detected": outcome.detected,
+                        "traces_run": outcome.traces_run,
+                        "instructions_run": outcome.instructions_run,
+                        "detecting_trace": outcome.detecting_trace,
+                    }
+                    for method, outcome in result.outcomes.items()
+                },
+            }
+            for result in results
+        ]
+        enumeration = tour_stats = None
+        if pipeline is not None:
+            enumeration = dataclasses.asdict(pipeline.artifacts.enumeration)
+            tour_stats = dataclasses.asdict(pipeline.artifacts.tours.stats)
+        return cls(
+            command=command,
+            config=dict(config or {}),
+            enumeration=enumeration,
+            tour_stats=tour_stats,
+            campaign=campaign,
+            cache=dict(cache or {}),
+            phases=_phase_rows(observer),
+            metrics=observer.metrics.snapshot() if observer is not None else {},
+        )
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        payload = json.loads(text)
+        if payload.get("schema") != RUN_REPORT_SCHEMA:
+            raise ValueError(
+                f"not a run report (schema {payload.get('schema')!r}, "
+                f"expected {RUN_REPORT_SCHEMA!r})"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # -- analysis --------------------------------------------------------------
+
+    def phase_coverage(self) -> float:
+        """Fraction of root-span wall time covered by depth-1 child spans."""
+        roots = [p for p in self.phases if p["depth"] == 0]
+        children = [p for p in self.phases if p["depth"] == 1]
+        total = sum(p["wall"] for p in roots)
+        if not total or not children:
+            return 1.0 if not children else 0.0
+        return min(1.0, sum(p["wall"] for p in children) / total)
+
+    def total_wall_seconds(self) -> float:
+        return sum(p["wall"] for p in self.phases if p["depth"] == 0)
+
+    # -- human rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """The human tables the JSON document subsumes."""
+        sections: List[str] = [f"Run report -- repro {self.command}"]
+        if self.config:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.config.items()))
+            sections.append(f"  config: {pairs}")
+        if self.cache:
+            sections.append(f"  cache: {_render_cache(self.cache)}")
+        if self.enumeration:
+            sections.append("")
+            sections.append(EnumerationStats(**self.enumeration).format_table())
+        if self.tour_stats:
+            sections.append("")
+            sections.append(_render_tours(self.tour_stats))
+        if self.comparison:
+            sections.append("")
+            sections.append(_render_comparison(self.comparison))
+        if self.campaign:
+            sections.append("")
+            sections.append(_render_campaign(self.campaign))
+        if self.coverage_curve:
+            sections.append("")
+            sections.append(_render_curve(self.coverage_curve))
+        if self.phases:
+            sections.append("")
+            sections.append(self._render_phases())
+        return "\n".join(sections)
+
+    def _render_phases(self) -> str:
+        total = self.total_wall_seconds() or 1.0
+        lines = ["Per-phase timing"]
+        lines.append(f"  {'phase':<44} {'wall (s)':>10} {'cpu (s)':>10} {'%':>6}")
+        for row in self.phases:
+            indent = "  " * row["depth"]
+            name = indent + row["name"]
+            attrs = row.get("attrs")
+            if attrs:
+                pairs = ",".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+                name = f"{name}({pairs})"
+            name = name[:44]
+            lines.append(
+                f"  {name:<44} {row['wall']:>10.3f} {row['cpu']:>10.3f} "
+                f"{100.0 * row['wall'] / total:>5.1f}%"
+            )
+        lines.append(f"  span coverage of root wall time: "
+                     f"{100.0 * self.phase_coverage():.1f}%")
+        return "\n".join(lines)
+
+
+def _phase_rows(observer: Optional[Observer]) -> List[Dict[str, Any]]:
+    if observer is None:
+        return []
+    # Completion order is children-before-parents; start order reads better.
+    ordered = sorted(observer.phases, key=lambda p: (p.start, -p.depth))
+    return [
+        {
+            "name": p.name,
+            "depth": p.depth,
+            "start": p.start,
+            "wall": p.wall,
+            "cpu": p.cpu,
+            "attrs": dict(p.attrs),
+        }
+        for p in ordered
+    ]
+
+
+def _render_cache(cache: Mapping[str, Any]) -> str:
+    if not cache.get("enabled"):
+        return "disabled"
+    status = "hit" if cache.get("hit") else "miss (built and stored)"
+    key = cache.get("key") or ""
+    return f"{status} ({key[:12]})"
+
+
+def _render_tours(stats: Mapping[str, Any]) -> str:
+    lines = ["Tour generation (Table 3.3)"]
+    lines.append(f"  traces:            {stats['num_traces']:,}")
+    lines.append(f"  arc traversals:    {stats['total_edge_traversals']:,} "
+                 f"over {stats['graph_edges']:,} arcs")
+    lines.append(f"  instructions:      {stats['total_instructions']:,}")
+    lines.append(f"  longest trace:     {stats['longest_trace_edges']:,} arcs")
+    lines.append(f"  generation time:   {stats['generation_seconds']:.3f} s")
+    return "\n".join(lines)
+
+
+def _render_comparison(comparison: Mapping[str, Any]) -> str:
+    lines = ["Comparison simulation"]
+    lines.append(f"  traces run:        {comparison['traces_run']}/"
+                 f"{comparison['total_traces']}")
+    per_trace = comparison.get("per_trace", [])
+    lines.append(f"  instructions:      "
+                 f"{sum(t['instructions'] for t in per_trace):,}")
+    lines.append(f"  cycles:            {sum(t['cycles'] for t in per_trace):,}")
+    if comparison.get("clean"):
+        lines.append("  result:            no divergence "
+                     "(design matches specification)")
+    else:
+        lines.append(f"  diverging traces:  {comparison['diverging_traces']}")
+        for site in comparison.get("divergence_sites", []):
+            lines.append(f"    trace {site['trace']}: {site['detail']}")
+    return "\n".join(lines)
+
+
+def _render_campaign(campaign: List[Mapping[str, Any]]) -> str:
+    lines = ["Campaign (Table 2.1)"]
+    for row in campaign:
+        label = "clean" if row["bug_id"] is None else f"bug #{row['bug_id']}"
+        outcomes = ", ".join(
+            f"{method}={'FOUND' if o['detected'] else 'missed'}"
+            f" ({o['instructions_run']} instr)"
+            for method, o in sorted(row["outcomes"].items())
+        )
+        lines.append(f"  {label:<8} {outcomes}")
+    return "\n".join(lines)
+
+
+def _render_curve(curve: List[Mapping[str, Any]]) -> str:
+    lines = ["Coverage curve (Fig 4.1: arcs covered vs instructions simulated)"]
+    lines.append(f"  {'trace':>6} {'instructions':>14} {'arcs covered':>14} "
+                 f"{'fraction':>9}")
+    # Print at most ~20 evenly spaced points so huge runs stay readable.
+    step = max(1, len(curve) // 20)
+    shown = list(curve[::step])
+    if shown[-1] is not curve[-1]:
+        shown.append(curve[-1])
+    for point in shown:
+        lines.append(
+            f"  {point['trace_index']:>6} {point['cumulative_instructions']:>14,} "
+            f"{point['cumulative_covered_edges']:>14,} "
+            f"{point['coverage_fraction']:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def validate_run_report(payload: Mapping[str, Any]) -> List[str]:
+    """Structural validation of a run-report document (for the CI smoke)."""
+    from repro.obs.metrics import validate_metrics_snapshot
+
+    problems: List[str] = []
+    if payload.get("schema") != RUN_REPORT_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}")
+    if not isinstance(payload.get("command"), str):
+        problems.append("command missing")
+    phases = payload.get("phases")
+    if not isinstance(phases, list):
+        problems.append("phases is not a list")
+    else:
+        for row in phases:
+            for key in ("name", "depth", "start", "wall", "cpu"):
+                if key not in row:
+                    problems.append(f"phase row missing {key!r}: {row!r}")
+                    break
+    if payload.get("metrics"):
+        problems.extend(validate_metrics_snapshot(payload["metrics"]))
+    return problems

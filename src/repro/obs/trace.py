@@ -1,0 +1,212 @@
+"""Structured event tracing with nested spans and a Chrome exporter.
+
+The tracer records a flat stream of timestamped events; ``span()`` is a
+context manager that emits paired ``begin``/``end`` events (with wall
+*and* CPU durations on the ``end``), nesting to any depth.  When
+constructed with a path the stream is also written live as JSONL, one
+event per line, so a crashed run still leaves a usable partial trace.
+
+JSONL event schema (``repro.trace/1``)
+--------------------------------------
+Every line is one JSON object::
+
+    {"ts": <seconds since trace start, float>,
+     "kind": "begin" | "end" | "instant",
+     "name": <event name, str>,
+     "depth": <span nesting depth, int>,
+     "pid": <process id, int>,
+     "attrs": {<arbitrary JSON-able key/values>}}
+
+``end`` events additionally carry ``"wall"`` and ``"cpu"`` (seconds, for
+the span they close).  The first line of a file is a ``begin`` of the
+implicit stream (kind ``instant``, name ``trace.start``) carrying the
+schema version in its attrs.
+
+Chrome trace_event export
+-------------------------
+:meth:`Tracer.chrome_trace` converts the stream into the Chrome
+``trace_event`` JSON object format (``{"traceEvents": [...]}``) using
+``B``/``E`` duration events and ``i`` instant events, loadable directly
+in ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional
+
+#: JSONL stream format version.
+TRACE_SCHEMA = "repro.trace/1"
+
+
+class Tracer:
+    """Structured event stream with nested span timers.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("phase.enumerate", states=42):
+    ...     tracer.instant("enum.wave", wave=0, frontier=1)
+    >>> [e["kind"] for e in tracer.events]
+    ['instant', 'begin', 'instant', 'end']
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.events: List[Dict[str, Any]] = []
+        self._depth = 0
+        self._epoch = time.perf_counter()
+        self._file: Optional[IO[str]] = open(path, "w") if path else None
+        self.path = path
+        self.instant("trace.start", schema=TRACE_SCHEMA, pid=os.getpid())
+
+    # -- recording -----------------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        if self._file is not None:
+            self._file.write(json.dumps(event) + "\n")
+            self._file.flush()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time event at the current nesting depth."""
+        self._emit({
+            "ts": self._now(),
+            "kind": "instant",
+            "name": name,
+            "depth": self._depth,
+            "pid": os.getpid(),
+            "attrs": attrs,
+        })
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Time a phase: paired begin/end events with wall + CPU durations."""
+        begin_wall = self._now()
+        begin_cpu = time.process_time()
+        self._emit({
+            "ts": begin_wall,
+            "kind": "begin",
+            "name": name,
+            "depth": self._depth,
+            "pid": os.getpid(),
+            "attrs": attrs,
+        })
+        self._depth += 1
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            end_wall = self._now()
+            self._emit({
+                "ts": end_wall,
+                "kind": "end",
+                "name": name,
+                "depth": self._depth,
+                "pid": os.getpid(),
+                "attrs": attrs,
+                "wall": end_wall - begin_wall,
+                "cpu": time.process_time() - begin_cpu,
+            })
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- exporters -----------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        return chrome_trace_from_events(self.events)
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+
+def chrome_trace_from_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert ``repro.trace/1`` events into Chrome ``trace_event`` format."""
+    phase_for_kind = {"begin": "B", "end": "E", "instant": "i"}
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        converted: Dict[str, Any] = {
+            "name": event["name"],
+            "ph": phase_for_kind[event["kind"]],
+            "ts": event["ts"] * 1e6,  # trace_event timestamps are microseconds
+            "pid": event.get("pid", 0),
+            "tid": 0,
+            "args": dict(event.get("attrs", {})),
+        }
+        if converted["ph"] == "i":
+            converted["s"] = "p"  # process-scoped instant
+        if "wall" in event:
+            converted["args"]["wall_s"] = event["wall"]
+            converted["args"]["cpu_s"] = event["cpu"]
+        trace_events.append(converted)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def read_jsonl_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into its event list."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def validate_trace_events(events: Iterable[Mapping[str, Any]]) -> List[str]:
+    """Structural validation of an event stream; returns a list of problems.
+
+    Checks the documented schema: required fields, monotonic timestamps,
+    and balanced begin/end pairs (properly nested, matching names).
+    """
+    problems: List[str] = []
+    stack: List[str] = []
+    last_ts = None
+    saw_header = False
+    for index, event in enumerate(events):
+        kind = event.get("kind")
+        if kind not in ("begin", "end", "instant"):
+            problems.append(f"event {index}: bad kind {kind!r}")
+            continue
+        for field in ("ts", "name", "depth", "pid", "attrs"):
+            if field not in event:
+                problems.append(f"event {index}: missing {field!r}")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if last_ts is not None and ts < last_ts:
+                problems.append(f"event {index}: timestamp went backwards")
+            last_ts = ts
+        if index == 0:
+            saw_header = (
+                event.get("name") == "trace.start"
+                and event.get("attrs", {}).get("schema") == TRACE_SCHEMA
+            )
+        if kind == "begin":
+            if event.get("depth") != len(stack):
+                problems.append(f"event {index}: depth {event.get('depth')} "
+                                f"!= nesting {len(stack)}")
+            stack.append(event.get("name"))
+        elif kind == "end":
+            if not stack:
+                problems.append(f"event {index}: end without begin")
+            elif stack[-1] != event.get("name"):
+                problems.append(
+                    f"event {index}: end {event.get('name')!r} does not match "
+                    f"open span {stack[-1]!r}"
+                )
+            else:
+                stack.pop()
+            if "wall" not in event or "cpu" not in event:
+                problems.append(f"event {index}: end without wall/cpu durations")
+    if not saw_header:
+        problems.append("stream does not start with a trace.start header")
+    if stack:
+        problems.append(f"unclosed spans at EOF: {stack}")
+    return problems

@@ -9,7 +9,12 @@ is included as the optimal-length baseline for the ablation benchmarks.
 """
 
 from repro.tour.fig33 import TourGenerator, Tour, TourSet, TourStats
-from repro.tour.coverage import arc_coverage, CoverageReport
+from repro.tour.coverage import (
+    arc_coverage,
+    coverage_curve,
+    CoveragePoint,
+    CoverageReport,
+)
 from repro.tour.postman import (
     chinese_postman_tour,
     euler_tour,
@@ -36,6 +41,8 @@ __all__ = [
     "TourSet",
     "TourStats",
     "arc_coverage",
+    "coverage_curve",
+    "CoveragePoint",
     "CoverageReport",
     "chinese_postman_tour",
     "euler_tour",

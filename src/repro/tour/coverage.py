@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.enumeration.graph import StateGraph
+from repro.tour.fig33 import Tour
 
 
 @dataclass(frozen=True)
@@ -72,3 +73,38 @@ def arc_coverage(graph: StateGraph, walks: Iterable[Sequence[int]]) -> CoverageR
         max_traversals_of_one_arc=max(counts, default=0),
         uncovered_edge_indices=uncovered,
     )
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One point of the Fig 4.1-style coverage curve: cumulative coverage
+    after simulating everything up to and including one trace."""
+
+    trace_index: int
+    cumulative_instructions: int
+    cumulative_covered_edges: int
+    coverage_fraction: float
+
+
+def coverage_curve(graph: StateGraph, tours: Iterable[Tour]) -> List[CoveragePoint]:
+    """Cumulative arcs-covered vs instructions-simulated, per trace.
+
+    This is the data behind the paper's Fig 4.1/4.2 coverage-vs-test-length
+    curves: traces are consumed in generation order, and each point gives
+    the unique arcs covered so far against the instruction budget spent.
+    """
+    covered: set = set()
+    instructions = 0
+    points: List[CoveragePoint] = []
+    for index, tour in enumerate(tours):
+        covered.update(tour.edge_indices)
+        instructions += tour.instructions
+        points.append(CoveragePoint(
+            trace_index=index,
+            cumulative_instructions=instructions,
+            cumulative_covered_edges=len(covered),
+            coverage_fraction=(
+                len(covered) / graph.num_edges if graph.num_edges else 1.0
+            ),
+        ))
+    return points

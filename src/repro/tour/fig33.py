@@ -14,12 +14,16 @@ a new one starts from reset.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from repro.enumeration.graph import Edge, StateGraph
+from repro.obs.observer import Observer, resolve
+
+logger = logging.getLogger("repro.tour")
 
 #: Cost function: instructions contributed by traversing one arc.
 InstructionCost = Callable[[Edge], int]
@@ -128,8 +132,18 @@ class TourGenerator:
 
     # -- public API ------------------------------------------------------------
 
-    def generate(self) -> TourSet:
-        """Run the full Fig. 3.3 loop until every arc has been traversed."""
+    def generate(self, obs: Optional[Observer] = None) -> TourSet:
+        """Run the full Fig. 3.3 loop until every arc has been traversed.
+
+        ``obs`` receives one ``tour.trace`` event per closed tour with
+        cumulative arcs-covered / instructions (the raw Fig 4.1 coverage
+        curve), plus end-of-run counters: ``tour.traces``,
+        ``tour.arc_traversals``, ``tour.instructions``,
+        ``tour.limit_restarts`` (tours closed by the per-trace limit) and
+        ``tour.explore_splices`` (BFS paths spliced in when the greedy
+        DFS got stuck).
+        """
+        obs = resolve(obs)
         started = time.perf_counter()
         graph = self.graph
         traversed = [False] * graph.num_edges
@@ -140,6 +154,9 @@ class TourGenerator:
         remaining = graph.num_edges
 
         tours: List[Tour] = []
+        limit_restarts = 0
+        explore_splices = 0
+        cumulative_instructions = 0
         while remaining:
             tour = Tour()
             state = StateGraph.RESET
@@ -152,12 +169,28 @@ class TourGenerator:
                 path = self._explore_bfs(state, untraversed_out)
                 if path is None:
                     break  # nothing else reachable: close this tour
+                if path:
+                    explore_splices += 1
                 for index in path:
                     self._take(index, tour, traversed, untraversed_out)
                 state = graph.edge(path[-1]).dst if path else state
             remaining = sum(untraversed_out)
             if tour.edge_indices:
                 tours.append(tour)
+                limit_restarts += limit_hit
+                cumulative_instructions += tour.instructions
+                obs.observe("tour.trace_instructions", tour.instructions)
+                obs.observe("tour.trace_edges", len(tour))
+                obs.event(
+                    "tour.trace",
+                    index=len(tours) - 1,
+                    edges=len(tour),
+                    instructions=tour.instructions,
+                    cumulative_instructions=cumulative_instructions,
+                    covered_arcs=graph.num_edges - remaining,
+                    graph_arcs=graph.num_edges,
+                    limit_hit=limit_hit,
+                )
             elif not limit_hit and remaining:
                 # Defensive: reset has no untraversed reachable arc yet arcs
                 # remain -- impossible for graphs enumerated from reset.
@@ -166,6 +199,18 @@ class TourGenerator:
                     "reset-reachable"
                 )
         elapsed = time.perf_counter() - started
+        obs.inc("tour.traces", len(tours))
+        obs.inc("tour.arc_traversals", sum(len(t) for t in tours))
+        obs.inc("tour.instructions", cumulative_instructions)
+        obs.inc("tour.limit_restarts", limit_restarts)
+        obs.inc("tour.explore_splices", explore_splices)
+        obs.observe("tour.seconds", elapsed)
+        logger.info(
+            "generated %d tours covering %d arcs (%d instructions, "
+            "%d limit restarts, %d explore splices) in %.3fs",
+            len(tours), graph.num_edges, cumulative_instructions,
+            limit_restarts, explore_splices, elapsed,
+        )
         return TourSet(self.graph, tours, elapsed)
 
     # -- phases of Fig. 3.3 -------------------------------------------------------

@@ -21,6 +21,7 @@ Combinational cycles are rejected as well.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.enumeration.graph import StateGraph
@@ -28,7 +29,10 @@ from repro.hdl import ast
 from repro.hdl.elaborate import FlatDesign, elaborate
 from repro.hdl.errors import TranslationError
 from repro.hdl.parser import parse
+from repro.obs.observer import Observer, resolve
 from repro.smurphi import ChoicePoint, RangeType, StateVar, SyncModel
+
+logger = logging.getLogger("repro.translate")
 
 
 def translate_verilog(
@@ -36,11 +40,28 @@ def translate_verilog(
     top: str,
     clock: str = "clk",
     choices_override: Optional[Sequence[ChoicePoint]] = None,
+    obs: Optional[Observer] = None,
 ) -> Tuple[SyncModel, FlatDesign]:
-    """Parse + elaborate + translate in one call."""
-    design = parse(source)
-    flat = elaborate(design, top, clock=clock)
-    return translate(flat, choices_override=choices_override), flat
+    """Parse + elaborate + translate in one call.
+
+    ``obs`` receives one span per front-end phase (``translate.parse``,
+    ``translate.elaborate``, ``translate.build``) plus gauges for the
+    translated model's state bits and free inputs.
+    """
+    obs = resolve(obs)
+    with obs.span("translate.parse", top=top):
+        design = parse(source)
+    with obs.span("translate.elaborate", top=top):
+        flat = elaborate(design, top, clock=clock)
+    with obs.span("translate.build", top=top):
+        model = translate(flat, choices_override=choices_override)
+    obs.gauge("translate.state_bits", model.state_bits())
+    obs.gauge("translate.free_inputs", len(model.choice_names))
+    logger.info(
+        "translated top %s: %d state bits, %d free inputs",
+        top, model.state_bits(), len(model.choice_names),
+    )
+    return model, flat
 
 
 def translate(

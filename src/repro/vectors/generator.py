@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.enumeration.graph import Edge, StateGraph
+from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPControlModel
 from repro.pp.isa import Instruction, InstructionClass, Opcode, random_instruction
 from repro.pp.rtl.memory import LINE_WORDS
@@ -122,13 +123,21 @@ class VectorGenerator:
 
     # -- public API -------------------------------------------------------------
 
-    def generate(self, tours: Sequence[Tour]) -> TraceSet:
+    def generate(
+        self, tours: Sequence[Tour], obs: Optional[Observer] = None
+    ) -> TraceSet:
         """Convert every tour component into a test-vector trace."""
+        obs = resolve(obs)
         traces = [
             self._trace_from_tour(tour, random.Random(f"{self.seed}:{i}"))
             for i, tour in enumerate(tours)
         ]
-        return TraceSet(traces=traces)
+        trace_set = TraceSet(traces=traces)
+        obs.inc("vectors.traces", trace_set.num_traces)
+        obs.inc("vectors.instructions", trace_set.total_instructions)
+        for trace in traces:
+            obs.observe("vectors.trace_instructions", trace.num_instructions)
+        return trace_set
 
     def trace_from_edges(
         self, edge_indices: Sequence[int], rng: Optional[random.Random] = None

@@ -147,3 +147,77 @@ class TestMisc:
         )
         assert main(["murphi", str(source)]) == 0
         assert "Number of States" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    BASE = ["validate", "--fill-words", "1", "--limit", "300"]
+
+    def test_trace_out_chrome_format(self, tmp_path, capsys):
+        path = tmp_path / "run.trace"
+        assert main(self.BASE + ["--trace-out", str(path)]) == 0
+        chrome = json.loads(path.read_text())
+        assert chrome["displayTimeUnit"] == "ms"
+        events = chrome["traceEvents"]
+        assert {e["ph"] for e in events} <= {"B", "E", "i"}
+        names = {e["name"] for e in events}
+        assert {"cli.validate", "pipeline.build", "phase.enumerate"} <= names
+        assert "chrome trace written" in capsys.readouterr().out
+
+    def test_trace_out_jsonl_streams_valid_events(self, tmp_path, capsys):
+        from repro.obs import read_jsonl_trace, validate_trace_events
+
+        path = tmp_path / "run.trace.jsonl"
+        assert main(self.BASE + ["--trace-out", str(path)]) == 0
+        events = read_jsonl_trace(str(path))
+        assert validate_trace_events(events) == []
+        assert "JSONL event trace written" in capsys.readouterr().out
+
+    def test_metrics_out_is_a_valid_run_report(self, tmp_path, capsys):
+        from repro.obs import RunReport, validate_run_report
+
+        path = tmp_path / "run.json"
+        assert main(self.BASE + ["--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert validate_run_report(payload) == []
+        report = RunReport.load(str(path))
+        assert report.command == "validate"
+        assert report.phase_coverage() >= 0.95
+        assert report.comparison["clean"] is True
+        counters = {c["name"] for c in report.metrics["counters"]}
+        assert {"enum.states", "tour.traces", "compare.traces_run"} <= counters
+
+    def test_report_subcommand_renders_saved_run(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        assert main(self.BASE + ["--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report -- repro validate" in out
+        assert "State Enumeration Statistics" in out
+        assert "Per-phase timing" in out
+
+    def test_report_curve_csv_export(self, tmp_path, capsys):
+        run = tmp_path / "run.json"
+        curve = tmp_path / "curve.csv"
+        assert main(self.BASE + ["--metrics-out", str(run)]) == 0
+        assert main(["report", str(run), "--curve", str(curve)]) == 0
+        lines = curve.read_text().splitlines()
+        assert lines[0] == ("trace_index,cumulative_instructions,"
+                            "cumulative_covered_edges,coverage_fraction")
+        assert len(lines) > 1
+        assert lines[-1].endswith("1.000000")
+
+    def test_report_rejects_non_report_json(self, tmp_path, capsys):
+        path = tmp_path / "not-a-report.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        assert main(["report", str(path)]) == 2
+
+    def test_enumerate_metrics_out(self, tmp_path, capsys):
+        from repro.obs import RunReport
+
+        path = tmp_path / "enum.json"
+        assert main(["enumerate", "--fill-words", "1",
+                     "--metrics-out", str(path)]) == 0
+        report = RunReport.load(str(path))
+        assert report.command == "enumerate"
+        assert report.enumeration["num_states"] == 1509
