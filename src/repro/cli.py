@@ -26,6 +26,29 @@ event log instead), ``--metrics-out`` writes the unified machine-readable
 stats), ``--log-level`` enables structured stderr logging, and ``repro
 report`` renders a saved run JSON back into the human tables, including
 Fig 4.1-style coverage-curve data.
+
+Resilience: ``--checkpoint-dir`` snapshots enumeration at wave boundaries
+(``--checkpoint-every`` controls the cadence) and ``--resume`` continues
+an interrupted run from the newest snapshot to a bit-identical graph;
+``repro checkpoints DIR`` lists, verifies, inspects and prunes a
+checkpoint store.  ``--wall-budget`` / ``--memory-budget`` /
+``--state-budget`` bound the run: on exhaustion the partial result is
+still written and reported, flagged as truncated.
+
+Exit codes (stable; scripts and CI may rely on them):
+
+- ``0`` -- success: the run completed and found what it should have found
+  (for ``validate --bug N``, "success" means the injected bug *was*
+  detected).
+- ``1`` -- validation outcome failure: an unexpected divergence, or an
+  injected bug the generated vectors missed.
+- ``2`` -- usage or input error (bad flags, unreadable files, unusable
+  checkpoint store).
+- ``3`` -- a model invariant failed on a reachable state
+  (:class:`~repro.enumeration.bfs.InvariantViolation`): the abstract
+  model itself is wrong, which outranks any validation verdict.
+- ``4`` -- a resource budget truncated the run; results cover only the
+  explored fraction and are reported before exiting.
 """
 
 from __future__ import annotations
@@ -38,9 +61,26 @@ from typing import List, Optional
 from repro.bugs import BUGS
 from repro.core.report import format_campaign_table
 from repro.enumeration import StateGraph, enumerate_states, enumerate_states_parallel
+from repro.enumeration.bfs import InvariantViolation
 from repro.obs import Observer, RunReport, Tracer, resolve
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.resilience import (
+    Budget,
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointStore,
+    atomic_write_text,
+)
 from repro.tour import TourGenerator, arc_coverage
+
+#: Documented exit codes (see module docstring).  When several apply the
+#: most diagnostic wins: invariant violation > budget truncation > missed
+#: divergence.
+EXIT_OK = 0
+EXIT_VALIDATION_FAILED = 1
+EXIT_USAGE = 2
+EXIT_INVARIANT_VIOLATION = 3
+EXIT_BUDGET_TRUNCATED = 4
 
 
 def _model_config(args) -> PPModelConfig:
@@ -84,6 +124,68 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-level",
                         choices=["debug", "info", "warning", "error"],
                         help="enable structured logging to stderr")
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="snapshot enumeration state into this directory "
+                             "at wave boundaries (resumable with --resume)")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="N",
+                        help="checkpoint every N enumeration waves "
+                             "(default: every wave)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the newest checkpoint in "
+                             "--checkpoint-dir (bit-identical to an "
+                             "uninterrupted run)")
+    parser.add_argument("--wall-budget", type=float, metavar="SECONDS",
+                        help="stop enumerating at the first wave boundary "
+                             "past this wall-clock budget (exit code 4)")
+    parser.add_argument("--memory-budget", type=float, metavar="MB",
+                        help="stop enumerating when peak RSS exceeds this "
+                             "many megabytes (exit code 4)")
+    parser.add_argument("--state-budget", type=int, metavar="STATES",
+                        help="stop enumerating once this many states have "
+                             "been discovered (exit code 4; unlike an "
+                             "exceeded --max-states this is a graceful "
+                             "truncation, not an error)")
+
+
+def _budget(args) -> Optional[Budget]:
+    if (args.wall_budget is None and args.memory_budget is None
+            and args.state_budget is None):
+        return None
+    return Budget(
+        wall_seconds=args.wall_budget,
+        max_memory_mb=args.memory_budget,
+        max_states=args.state_budget,
+    )
+
+
+def _checkpoint_config(args) -> Optional[CheckpointConfig]:
+    if not args.checkpoint_dir:
+        if args.resume:
+            raise CheckpointError("--resume requires --checkpoint-dir")
+        return None
+    return CheckpointConfig(args.checkpoint_dir,
+                            every_waves=args.checkpoint_every)
+
+
+def _print_resilience_status(stats) -> None:
+    if stats.resumed:
+        print("enumeration resumed from checkpoint")
+    if stats.checkpoints_written:
+        print(f"checkpoints written: {stats.checkpoints_written}")
+    if stats.shards_retried or stats.degraded:
+        detail = (f"{stats.shards_retried} shard retries, "
+                  f"{stats.pool_respawns} pool respawns")
+        if stats.degraded:
+            detail += "; degraded to in-process expansion"
+        print(f"worker recovery: {detail}")
+    if stats.truncated:
+        print(f"BUDGET TRUNCATED ({stats.budget_outcome} exhausted): "
+              f"{stats.explored_fraction:.1%} of discovered states expanded, "
+              f"{stats.frontier_remaining:,} left in the frontier")
 
 
 def _configure_logging(args) -> None:
@@ -130,8 +232,7 @@ def _finish_observer(args, observer: Optional[Observer],
         if run_report is not None:
             run_report.write(metrics_out)
         else:
-            with open(metrics_out, "w") as handle:
-                handle.write(observer.metrics.to_json())
+            atomic_write_text(metrics_out, observer.metrics.to_json())
         print(f"run report written to {metrics_out} "
               f"(render with: repro report {metrics_out})")
 
@@ -157,18 +258,27 @@ def cmd_enumerate(args) -> int:
     observer = _make_observer(args)
     obs = resolve(observer)
     jobs = _jobs(args)
+    checkpoint = _checkpoint_config(args)
+    budget = _budget(args)
     with obs.span("cli.enumerate"):
         with obs.span("phase.model_build"):
             model = PPControlModel(_model_config(args)).build()
         with obs.span("phase.enumerate", jobs=jobs or 0):
             if jobs is None or jobs > 1:
-                graph, stats = enumerate_states_parallel(model, jobs=jobs, obs=obs)
+                graph, stats = enumerate_states_parallel(
+                    model, jobs=jobs, obs=obs,
+                    checkpoint=checkpoint, resume=args.resume, budget=budget,
+                )
             else:
-                graph, stats = enumerate_states(model, obs=obs)
+                graph, stats = enumerate_states(
+                    model, obs=obs,
+                    checkpoint=checkpoint, resume=args.resume, budget=budget,
+                )
     print(stats.format_table())
+    _print_resilience_status(stats)
     if args.graph_out:
-        with open(args.graph_out, "w") as handle:
-            handle.write(graph.to_json())
+        # Atomic: even a truncated (exit 4) run leaves a loadable graph.
+        atomic_write_text(args.graph_out, graph.to_json())
         print(f"state graph written to {args.graph_out}")
     run_report = None
     if observer is not None:
@@ -180,7 +290,7 @@ def cmd_enumerate(args) -> int:
             enumeration=dataclasses.asdict(stats),
         )
     _finish_observer(args, observer, run_report)
-    return 0
+    return EXIT_BUDGET_TRUNCATED if stats.truncated else EXIT_OK
 
 
 def cmd_tours(args) -> int:
@@ -212,6 +322,7 @@ def cmd_validate(args) -> int:
 
     observer = _make_observer(args)
     obs = resolve(observer)
+    _checkpoint_config(args)  # validates --resume/--checkpoint-dir pairing
     pipeline = ValidationPipeline(
         model_config=_model_config(args),
         max_instructions_per_trace=args.limit or None,
@@ -220,17 +331,21 @@ def cmd_validate(args) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         observer=observer,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        budget=_budget(args),
     )
     with obs.span("cli.validate"):
-        pipeline.build()
+        pipeline.build(resume=args.resume)
         _print_cache_status(pipeline)
+        _print_resilience_status(pipeline.artifacts.enumeration)
         config = CoreConfig(mem_latency=0)
         if args.bug:
             for bug_id in args.bug:
                 if bug_id not in BUGS:
                     print(f"unknown bug id {bug_id}; known: {sorted(BUGS)}",
                           file=sys.stderr)
-                    return 2
+                    return EXIT_USAGE
             config = config.with_bugs(*args.bug)
             for bug_id in args.bug:
                 print(f"injected bug #{bug_id}: {BUGS[bug_id].title}")
@@ -250,7 +365,9 @@ def cmd_validate(args) -> int:
             cache=pipeline.cache_info,
         )
     _finish_observer(args, observer, run_report)
-    return 0 if report.clean == (not args.bug) else 1
+    if pipeline.artifacts.enumeration.truncated:
+        return EXIT_BUDGET_TRUNCATED
+    return EXIT_OK if report.clean == (not args.bug) else EXIT_VALIDATION_FAILED
 
 
 def cmd_campaign(args) -> int:
@@ -258,6 +375,7 @@ def cmd_campaign(args) -> int:
 
     observer = _make_observer(args)
     obs = resolve(observer)
+    _checkpoint_config(args)  # validates --resume/--checkpoint-dir pairing
     with obs.span("cli.campaign"):
         with obs.span("campaign.build"):
             campaign = ValidationCampaign(
@@ -268,8 +386,13 @@ def cmd_campaign(args) -> int:
                 cache_dir=args.cache_dir,
                 use_cache=not args.no_cache,
                 observer=observer,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                budget=_budget(args),
+                resume=args.resume,
             )
         _print_cache_status(campaign.pipeline)
+        _print_resilience_status(campaign.enum_stats)
         results = campaign.evaluate_all_bugs()
     print(format_campaign_table(results))
     found = sum(r.outcomes["generated"].detected for r in results)
@@ -288,7 +411,9 @@ def cmd_campaign(args) -> int:
             cache=campaign.pipeline.cache_info,
         )
     _finish_observer(args, observer, run_report)
-    return 0 if found == len(results) else 1
+    if campaign.enum_stats.truncated:
+        return EXIT_BUDGET_TRUNCATED
+    return EXIT_OK if found == len(results) else EXIT_VALIDATION_FAILED
 
 
 def cmd_translate(args) -> int:
@@ -349,6 +474,49 @@ def cmd_errata(args) -> int:
     return 0
 
 
+def cmd_checkpoints(args) -> int:
+    """List, verify, inspect and prune an enumeration checkpoint store."""
+    store = CheckpointStore(args.directory)
+    if args.inspect:
+        try:
+            payload = store.load(args.inspect)
+        except CheckpointError as exc:
+            print(f"{exc}", file=sys.stderr)
+            return EXIT_USAGE
+        graph = StateGraph.from_json(payload["graph_json"])
+        print(f"checkpoint {args.inspect} ({store.payload_path(args.inspect)})")
+        print(f"  model:            {payload['model']}")
+        print(f"  config digest:    {payload['config_digest'][:12]}")
+        print(f"  waves completed:  {payload['waves_completed']}")
+        print(f"  states:           {graph.num_states:,}")
+        print(f"  edges:            {graph.num_edges:,}")
+        print(f"  frontier pending: {len(payload['frontier']):,}")
+        print(f"  transitions:      {payload['transitions_explored']:,}")
+        return EXIT_OK
+    if args.prune:
+        removed = store.prune(keep=args.keep)
+        print(f"pruned {removed} checkpoint(s); kept the newest {args.keep}")
+        return EXIT_OK
+    names = store.names()
+    if not names:
+        print(f"no checkpoints in {store.directory}")
+        return EXIT_OK
+    print(f"{'name':<14} {'waves':>6} {'frontier':>9} {'transitions':>12} "
+          f"{'size':>10}  status")
+    for name in names:
+        problem = store.verify(name)
+        status = "ok" if problem is None else f"CORRUPT: {problem}"
+        try:
+            manifest = store.manifest(name)
+        except CheckpointError:
+            manifest = {}
+        print(f"{name:<14} {manifest.get('waves_completed', '?'):>6} "
+              f"{manifest.get('frontier', '?'):>9} "
+              f"{manifest.get('transitions_explored', '?'):>12} "
+              f"{manifest.get('size', '?'):>10}  {status}")
+    return EXIT_OK
+
+
 def cmd_report(args) -> int:
     try:
         report = RunReport.load(args.report)
@@ -385,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_flags(p)
     _add_jobs_flag(p)
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.add_argument("--graph-out", help="write the state graph as JSON")
     p.set_defaults(func=cmd_enumerate)
 
@@ -400,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
     _add_cache_flags(p)
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.add_argument("--limit", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--bug", type=int, action="append",
@@ -413,6 +583,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p)
     _add_cache_flags(p)
     _add_obs_flags(p)
+    _add_resilience_flags(p)
     p.add_argument("--limit", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_campaign)
@@ -435,6 +606,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("errata", help="print the R4000 errata table (Table 1.1)")
     p.set_defaults(func=cmd_errata)
 
+    p = sub.add_parser("checkpoints",
+                       help="list/verify/inspect/prune an enumeration "
+                            "checkpoint store")
+    p.add_argument("directory", help="checkpoint directory (--checkpoint-dir)")
+    p.add_argument("--inspect", metavar="NAME",
+                   help="verify and summarize one checkpoint (e.g. wave000004)")
+    p.add_argument("--prune", action="store_true",
+                   help="delete all but the newest --keep checkpoints")
+    p.add_argument("--keep", type=int, default=1,
+                   help="checkpoints to retain with --prune (default 1)")
+    p.set_defaults(func=cmd_checkpoints)
+
     p = sub.add_parser("report",
                        help="render a saved run report JSON (--metrics-out)")
     p.add_argument("report", help="path to a run report JSON file")
@@ -452,6 +635,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.limit = None
     try:
         return args.func(args)
+    except InvariantViolation as exc:
+        # The abstract model is broken on a reachable state; no validation
+        # verdict built on it can be trusted, hence a dedicated exit code.
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return EXIT_INVARIANT_VIOLATION
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except BrokenPipeError:
         # stdout was closed early (e.g. `repro report ... | head`);
         # suppress the traceback and exit quietly like other CLI tools.

@@ -27,9 +27,18 @@ Changing any of these changes the key, so stale entries are never *read*
 Storage format
 --------------
 ``<cache_dir>/<key>.pkl`` holds the pickled artifacts; ``<key>.json`` is a
-human-readable manifest of the key inputs for debugging.  Writes go
-through a temporary file plus :func:`os.replace`, so a reader never sees a
-torn entry; any unreadable or truncated pickle is treated as a miss.
+manifest carrying the pickle's SHA-256 (computed at store time) plus the
+key inputs for debugging.  Writes go through a temporary file plus
+:func:`os.replace`, so a reader never sees a torn entry.
+
+Integrity
+---------
+:meth:`ArtifactCache.load` re-hashes the pickle and compares it against
+the manifest digest *before* unpickling; an entry that fails the check --
+or fails to unpickle -- is **quarantined**: the pickle is renamed to
+``<key>.corrupt`` (preserving the evidence for debugging), a WARNING is
+logged, and the load reports a miss so the caller rebuilds.  A poisoned
+cache entry therefore costs one rebuild, never a wrong answer.
 """
 
 from __future__ import annotations
@@ -44,6 +53,8 @@ import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+from repro.resilience.atomic import atomic_write_text
 
 logger = logging.getLogger("repro.cache")
 
@@ -127,46 +138,94 @@ class ArtifactCache:
     def manifest_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
+    def quarantine_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.corrupt"
+
     # -- operations ----------------------------------------------------------
 
     def has(self, key: str) -> bool:
         return self.pickle_path(key).is_file()
 
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a bad entry aside (``<key>.corrupt``) so it is rebuilt.
+
+        Renaming rather than deleting keeps the evidence around for
+        debugging (was it a torn write?  bit rot?  a tampered file?) while
+        guaranteeing the poisoned bytes can never be loaded again.
+        """
+        path = self.pickle_path(key)
+        try:
+            os.replace(path, self.quarantine_path(key))
+        except OSError:
+            pass  # already gone (e.g. a concurrent prune); nothing to keep
+        logger.warning(
+            "quarantined corrupt cache entry %s (%s); it will be rebuilt",
+            key[:12], reason,
+        )
+
     def load(self, key: str) -> Optional[Any]:
         """Return the cached artifacts for ``key``, or ``None`` on a miss.
 
-        Corrupt or unreadable entries count as misses: the caller rebuilds
-        and overwrites them.
+        The pickle's SHA-256 is checked against the manifest before
+        unpickling; a digest mismatch or unpicklable stream quarantines
+        the entry (see :meth:`_quarantine`) and counts as a miss.
         """
         path = self.pickle_path(key)
         started = time.perf_counter()
         try:
-            with open(path, "rb") as handle:
-                artifacts = pickle.load(handle)
-        except Exception:
+            blob = path.read_bytes()
+        except OSError:
+            logger.debug("cache miss for %s", key[:12])
+            return None
+        expected = None
+        try:
+            expected = json.loads(self.manifest_path(key).read_text()).get("sha256")
+        except (OSError, ValueError):
+            pass  # legacy entry without a manifest: fall back to unpickle-or-die
+        if expected is not None:
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != expected:
+                self._quarantine(
+                    key,
+                    f"sha256 mismatch: manifest says {expected[:12]}, "
+                    f"file is {actual[:12]}",
+                )
+                return None
+        try:
+            artifacts = pickle.loads(blob)
+        except Exception as exc:
             # Unpickling a corrupt stream can raise nearly anything
             # (UnpicklingError, EOFError, ValueError, UnicodeDecodeError,
             # AttributeError...); every failure mode means the same thing
-            # here: not a usable entry, rebuild it.
-            logger.debug("cache miss for %s", key[:12])
+            # here: not a usable entry, quarantine and rebuild it.
+            self._quarantine(key, f"unpicklable: {type(exc).__name__}: {exc}")
             return None
         logger.debug(
             "cache hit for %s (%d bytes in %.3fs)",
-            key[:12], path.stat().st_size, time.perf_counter() - started,
+            key[:12], len(blob), time.perf_counter() - started,
         )
         return artifacts
 
     def store(
         self, key: str, artifacts: Any, manifest: Optional[Dict[str, Any]] = None
     ) -> Path:
-        """Atomically persist ``artifacts`` under ``key``; returns the path."""
+        """Atomically persist ``artifacts`` under ``key``; returns the path.
+
+        The pickle bytes are hashed once here and the digest recorded in
+        the manifest (written last, also atomically), giving :meth:`load`
+        an end-to-end integrity check on every future hit.  Caller-supplied
+        manifest fields are merged in for debugging.
+        """
         started = time.perf_counter()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.pickle_path(key)
+        blob = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(artifacts, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -174,13 +233,20 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        if manifest is not None:
-            self.manifest_path(key).write_text(
-                json.dumps(manifest, indent=2, sort_keys=True, default=repr)
-            )
+        full_manifest = dict(manifest or {})
+        full_manifest.update(
+            schema=CACHE_SCHEMA_VERSION,
+            sha256=hashlib.sha256(blob).hexdigest(),
+            size=len(blob),
+            stored_at=time.time(),
+        )
+        atomic_write_text(
+            self.manifest_path(key),
+            json.dumps(full_manifest, indent=2, sort_keys=True, default=repr),
+        )
         logger.debug(
             "cache store for %s (%d bytes in %.3fs)",
-            key[:12], path.stat().st_size, time.perf_counter() - started,
+            key[:12], len(blob), time.perf_counter() - started,
         )
         return path
 
@@ -190,7 +256,7 @@ class ArtifactCache:
         if not self.cache_dir.is_dir():
             return removed
         for path in self.cache_dir.iterdir():
-            if path.suffix in (".pkl", ".json", ".tmp"):
+            if path.suffix in (".pkl", ".json", ".tmp", ".corrupt"):
                 try:
                     path.unlink()
                 except OSError:

@@ -17,6 +17,7 @@ from repro.harness.compare import ComparisonResult, run_vector_traces
 from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.pp.rtl.core import CoreConfig
+from repro.resilience import Budget, CheckpointConfig, RetryPolicy
 from repro.tour import TourGenerator, TourSet
 from repro.vectors import TraceSet, VectorGenerator, pp_instruction_cost
 
@@ -74,6 +75,21 @@ class ValidationPipeline:
         the pipeline runs inside a ``span()`` and flushes counters /
         histograms to it.  ``None`` resolves to the shared no-op observer
         (near-zero overhead).
+    checkpoint_dir:
+        Directory for enumeration checkpoints
+        (:class:`~repro.resilience.CheckpointStore`); ``None`` disables
+        checkpointing.  Snapshots are written every ``checkpoint_every``
+        wave boundaries and an interrupted build can be continued with
+        ``resume=True`` to a bit-identical graph.
+    budget:
+        :class:`~repro.resilience.Budget` for the enumeration phase.  On
+        exhaustion the build completes with a *partial* graph
+        (``artifacts.enumeration.truncated``); the tours/vectors cover the
+        expanded portion, and the build is **not** cached -- a truncated
+        artifact must never masquerade as the full one.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` for parallel enumeration's
+        worker-crash recovery (``jobs > 1`` only).
     """
 
     def __init__(
@@ -86,6 +102,10 @@ class ValidationPipeline:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         observer: Optional[Observer] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        budget: Optional[Budget] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.max_instructions_per_trace = max_instructions_per_trace
@@ -95,6 +115,10 @@ class ValidationPipeline:
         self.cache_dir = cache_dir
         self.use_cache = use_cache
         self.obs = resolve(observer)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.budget = budget
+        self.retry = retry
         self.control = PPControlModel(self.model_config)
         self._artifacts: Optional[PipelineArtifacts] = None
         #: True when the last :meth:`build` was served from the cache.
@@ -111,6 +135,25 @@ class ValidationPipeline:
             "key": self.cache_key,
         }
 
+    @property
+    def resilience_info(self) -> Dict[str, Any]:
+        """Resilience outcome of the last build, for run reports."""
+        if self._artifacts is None:
+            return {}
+        stats = self._artifacts.enumeration
+        return {
+            "truncated": stats.truncated,
+            "budget_outcome": stats.budget_outcome,
+            "frontier_remaining": stats.frontier_remaining,
+            "explored_fraction": stats.explored_fraction,
+            "resumed": stats.resumed,
+            "checkpoints_written": stats.checkpoints_written,
+            "shards_retried": stats.shards_retried,
+            "pool_respawns": stats.pool_respawns,
+            "degraded": stats.degraded,
+            "checkpoint_dir": self.checkpoint_dir,
+        }
+
     def _cache_key(self) -> str:
         return artifact_key(
             self.model_config,
@@ -124,6 +167,8 @@ class ValidationPipeline:
         cache_dir: Optional[str] = None,
         use_cache: Optional[bool] = None,
         jobs: Optional[int] = None,
+        resume: bool = False,
+        faults=None,
     ) -> PipelineArtifacts:
         """Run steps 1-3 (model, enumerate, tour, vectors) or load them.
 
@@ -131,17 +176,29 @@ class ValidationPipeline:
         tour generation and vector generation entirely; a miss builds and
         persists the artifacts for the next run.  Keyword arguments
         override the constructor's defaults for this call only.
+
+        ``resume=True`` continues enumeration from the newest checkpoint
+        in ``checkpoint_dir`` (and skips the cache read -- the caller
+        explicitly asked to finish a partial run, not load a prior one).
+        A build whose enumeration was budget-truncated is returned but
+        never cached.  ``faults`` is the chaos-test hook
+        (:class:`~repro.resilience.FaultPlan`).
         """
         cache_dir = self.cache_dir if cache_dir is None else cache_dir
         use_cache = self.use_cache if use_cache is None else use_cache
         jobs = self.jobs if jobs is None else jobs
         obs = self.obs
+        checkpoint = (
+            CheckpointConfig(self.checkpoint_dir, every_waves=self.checkpoint_every)
+            if self.checkpoint_dir
+            else None
+        )
 
         with obs.span("pipeline.build", jobs=jobs or 0):
             cache = ArtifactCache(cache_dir) if cache_dir else None
             if cache is not None:
                 self.cache_key = self._cache_key()
-                if use_cache:
+                if use_cache and not resume:
                     with obs.span("phase.cache_load"):
                         cached = cache.load(self.cache_key)
                     if cached is not None:
@@ -163,13 +220,28 @@ class ValidationPipeline:
                         model, jobs=jobs,
                         record_all_conditions=self.record_all_conditions,
                         obs=obs,
+                        checkpoint=checkpoint,
+                        resume=resume,
+                        budget=self.budget,
+                        retry=self.retry,
+                        faults=faults,
                     )
                 else:
                     graph, stats = enumerate_states(
                         model,
                         record_all_conditions=self.record_all_conditions,
                         obs=obs,
+                        checkpoint=checkpoint,
+                        resume=resume,
+                        budget=self.budget,
+                        faults=faults,
                     )
+            if stats.truncated:
+                logger.warning(
+                    "enumeration truncated by budget (%s): building tours/"
+                    "vectors over the partial graph; result will not be cached",
+                    stats.budget_outcome,
+                )
             with obs.span("phase.tours"):
                 cost = pp_instruction_cost(self.control, graph)
                 tours = TourGenerator(
@@ -185,7 +257,7 @@ class ValidationPipeline:
                 graph=graph, enumeration=stats, tours=tours, traces=traces
             )
             self.artifacts_from_cache = False
-            if cache is not None:
+            if cache is not None and not stats.truncated:
                 with obs.span("phase.cache_store"):
                     cache.store(
                         self.cache_key,

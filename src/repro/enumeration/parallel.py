@@ -1,4 +1,4 @@
-"""Parallel breadth-first state enumeration.
+"""Parallel breadth-first state enumeration with crash recovery.
 
 The sequential enumerator (:func:`repro.enumeration.bfs.enumerate_states`)
 dominates pipeline wall-clock: every reachable state is expanded by calling
@@ -21,12 +21,33 @@ Determinism guarantee
 ---------------------
 Sequential BFS pops states in strictly increasing id order (the frontier is
 FIFO and ids are assigned at discovery).  Wave-synchronous processing
-preserves that order, and ``Pool.map`` returns shards in submission order,
-so state ids, edge order, recorded conditions, the ``max_states`` cap and
-the first :class:`InvariantViolation` are all **identical** to the
-sequential path -- in both ``record_all_conditions`` modes.  The golden
-test in ``tests/test_parallel_enumeration.py`` locks this down by comparing
-byte-identical :meth:`StateGraph.to_json` serializations.
+preserves that order, and shard results are always assembled in submission
+order, so state ids, edge order, recorded conditions, the ``max_states``
+cap and the first :class:`InvariantViolation` are all **identical** to the
+sequential path -- in both ``record_all_conditions`` modes, and regardless
+of how many times a shard had to be retried (expansion is a pure function
+of the model).  The golden tests in ``tests/test_parallel_enumeration.py``
+and the chaos suite in ``tests/test_resilience.py`` lock this down by
+comparing byte-identical :meth:`StateGraph.to_json` serializations.
+
+Worker-crash recovery
+---------------------
+Shards are submitted to a :class:`concurrent.futures.ProcessPoolExecutor`
+and collected with a per-shard timeout, so a dead worker (detected
+immediately via ``BrokenProcessPool``) or a wedged one (detected by the
+timeout) can never hang the coordinator.  Every failure event retires the
+pool, sleeps an exponential backoff
+(:class:`~repro.resilience.RetryPolicy`), respawns a fresh pool and
+resubmits the wave's not-yet-collected shards.  A shard that keeps failing
+past the retry budget tips the run into *degraded mode*: the coordinator
+expands the remaining shards and waves in-process -- slower, but it cannot
+crash-loop, and results are identical.
+
+Checkpoint / resume / budgets mirror the sequential engine: snapshots are
+written at wave boundaries (:class:`~repro.resilience.CheckpointConfig`),
+``resume=`` continues to a bit-identical graph (checkpoints are
+interchangeable between the sequential and parallel engines), and a
+:class:`~repro.resilience.Budget` truncates gracefully at a boundary.
 
 Process model
 -------------
@@ -40,10 +61,14 @@ never depends on parallelism being available.
 
 from __future__ import annotations
 
+import concurrent.futures
 import logging
 import multiprocessing
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.enumeration.bfs import (
@@ -51,11 +76,21 @@ from repro.enumeration.bfs import (
     InvariantViolation,
     _approx_memory,
     enumerate_states,
+    rebuild_seen_arcs,
 )
 from repro.enumeration.graph import StateGraph
 from repro.enumeration.stats import EnumerationStats
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer, resolve
+from repro.resilience.budget import Budget, BudgetMeter
+from repro.resilience.checkpoint import (
+    CheckpointConfig,
+    build_payload,
+    model_digest,
+    resolve_resume,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.smurphi.model import SyncModel
 from repro.smurphi.state import StateCodec
 
@@ -68,16 +103,36 @@ _WORKER_CODEC: Optional[StateCodec] = None
 #: Whether workers should collect per-shard metrics snapshots (set by the
 #: coordinator before the fork; False keeps the no-sink path overhead-free).
 _WORKER_COLLECT: bool = False
+#: Fault plan inherited by workers (chaos testing only; None in production).
+_WORKER_FAULTS: Optional[FaultPlan] = None
+#: True only inside forked pool workers; gates worker-targeted faults so
+#: degraded in-process expansion can never kill the coordinator.
+_IN_WORKER: bool = False
+
+#: Exceptions that mean "the shard did not come back, retry it" -- a dead
+#: worker (BrokenProcessPool, raised immediately), a wedged one (timeout),
+#: or a torn result pipe.  Anything else is a genuine error and propagates.
+_SHARD_FAILURES = (
+    BrokenProcessPool,
+    concurrent.futures.TimeoutError,
+    TimeoutError,
+    EOFError,
+    OSError,
+)
 
 
 def _init_worker() -> None:
     """Per-worker setup: build the codec once from the inherited model."""
-    global _WORKER_CODEC
+    global _WORKER_CODEC, _IN_WORKER
+    _IN_WORKER = True
     _WORKER_CODEC = StateCodec(_WORKER_MODEL.state_vars)
 
 
 def _expand_batch(
     packed_keys: Sequence[int],
+    wave: int = 0,
+    shard: int = 0,
+    attempt: int = 0,
 ) -> Tuple[List[List[Tuple[Tuple, int]]], Optional[Dict[str, Any]]]:
     """Expand a batch of states; one row of (condition, packed_dst) per state.
 
@@ -86,9 +141,17 @@ def _expand_batch(
     collection is on, the second element is a worker-local
     :class:`~repro.obs.metrics.MetricsRegistry` snapshot (per-shard timing
     and counts, labeled by worker pid) for the coordinator to merge.
+
+    Also the degraded-mode workhorse: the coordinator calls it in-process
+    when the retry budget is spent (fault hooks stay inert there).
     """
+    global _WORKER_CODEC
+    if _IN_WORKER and _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.worker_hook(wave, shard, attempt)
     started = time.perf_counter()
     model = _WORKER_MODEL
+    if _WORKER_CODEC is None:
+        _WORKER_CODEC = StateCodec(model.state_vars)
     codec = _WORKER_CODEC
     names = model.choice_names
     rows: List[List[Tuple[Tuple, int]]] = []
@@ -117,6 +180,117 @@ def _shard(items: Sequence, num_shards: int) -> List[List]:
     return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
+@dataclass
+class _RecoveryCounters:
+    """What the recovery machinery did during one run (flows into stats)."""
+
+    shards_retried: int = 0
+    pool_respawns: int = 0
+    degraded: bool = False
+
+
+class _ShardRunner:
+    """Owns the worker pool; expands one wave at a time with retry/respawn."""
+
+    def __init__(self, ctx, jobs: int, policy: RetryPolicy,
+                 obs: Observer, counters: _RecoveryCounters):
+        self._ctx = ctx
+        self._jobs = jobs
+        self.policy = policy
+        self.obs = obs
+        self.counters = counters
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _executor_or_spawn(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._jobs,
+                mp_context=self._ctx,
+                initializer=_init_worker,
+            )
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Retire the pool, killing any still-running (wedged) workers."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # a broken pool can throw during teardown
+            pass
+        procs = list((getattr(executor, "_processes", None) or {}).values())
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=1.0)
+
+    def run_wave(self, shards: List[List[int]], wave_index: int) -> List[Tuple]:
+        """Expand every shard of one wave; returns results in shard order.
+
+        Never hangs (every wait is bounded by the policy's shard timeout)
+        and never returns partial waves: a shard either yields its rows --
+        from a worker or, after retry exhaustion, from in-process degraded
+        expansion -- or a genuine error propagates.
+        """
+        results: Dict[int, Tuple] = {}
+        retries = [0] * len(shards)
+        while len(results) < len(shards):
+            pending = [i for i in range(len(shards)) if i not in results]
+            failure: Optional[Tuple[int, BaseException]] = None
+            futures: Dict[int, concurrent.futures.Future] = {}
+            try:
+                executor = self._executor_or_spawn()
+                for i in pending:
+                    futures[i] = executor.submit(
+                        _expand_batch, shards[i], wave_index, i, retries[i]
+                    )
+                for i in pending:
+                    results[i] = futures[i].result(
+                        timeout=self.policy.shard_timeout
+                    )
+            except _SHARD_FAILURES as exc:
+                failed_at = next(
+                    i for i in range(len(shards)) if i not in results
+                )
+                failure = (failed_at, exc)
+            if failure is None:
+                break
+            index, exc = failure
+            # Whatever failed, the pool is suspect: retire it and re-run
+            # every not-yet-collected shard of the wave on a fresh one.
+            uncollected = [i for i in range(len(shards)) if i not in results]
+            for i in uncollected:
+                retries[i] += 1
+            self.counters.shards_retried += len(uncollected)
+            self.obs.inc("enum.shards_retried", len(uncollected))
+            self.shutdown()
+            worst = max(retries[i] for i in uncollected)
+            if worst > self.policy.max_retries:
+                self.counters.degraded = True
+                self.obs.inc("enum.degraded_waves")
+                logger.warning(
+                    "wave %d shard %d failed %d times (%s: %s); retry budget "
+                    "spent -- degrading to in-process expansion",
+                    wave_index, index, worst, type(exc).__name__, exc,
+                )
+                for i in uncollected:
+                    results[i] = _expand_batch(shards[i], wave_index, i, retries[i])
+                break
+            delay = self.policy.backoff(worst)
+            logger.warning(
+                "wave %d shard %d failed (%s: %s); respawning pool and "
+                "retrying %d shard(s) in %.2fs",
+                wave_index, index, type(exc).__name__, exc,
+                len(uncollected), delay,
+            )
+            time.sleep(delay)
+            self.counters.pool_respawns += 1
+            self.obs.inc("enum.pool_respawns")
+        return [results[i] for i in range(len(shards))]
+
+
 def enumerate_states_parallel(
     model: SyncModel,
     jobs: Optional[int] = None,
@@ -124,6 +298,11 @@ def enumerate_states_parallel(
     record_all_conditions: bool = False,
     check_invariants: bool = True,
     obs: Optional[Observer] = None,
+    checkpoint: Optional[CheckpointConfig] = None,
+    resume=None,
+    budget: Optional[Budget] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[StateGraph, EnumerationStats]:
     """Enumerate ``model`` with ``jobs`` worker processes.
 
@@ -133,12 +312,18 @@ def enumerate_states_parallel(
     every CPU; ``jobs<=1`` (or platforms without ``fork``) runs the
     sequential enumerator directly.
 
+    ``checkpoint`` / ``resume`` / ``budget`` / ``faults`` have the same
+    semantics as on :func:`~repro.enumeration.bfs.enumerate_states`
+    (checkpoints are interchangeable between the two engines); ``retry``
+    is the :class:`~repro.resilience.RetryPolicy` governing worker-crash
+    recovery (timeouts, backoff, respawn, degradation).
+
     ``obs`` receives the same coordinator-side counters as the sequential
     path (``enum.states`` / ``enum.transitions_explored`` / ``enum.edges``
     / ``enum.waves`` -- totals are identical for identical inputs,
     regardless of ``jobs``) plus merged worker-side shard metrics
-    (``enum.shard.*``, labeled by worker pid): each forked worker snapshots
-    a private registry per shard and the coordinator folds it in.
+    (``enum.shard.*``, labeled by worker pid) and recovery counters
+    (``enum.shards_retried`` / ``enum.pool_respawns``).
     """
     obs = resolve(obs)
     if jobs is None:
@@ -150,77 +335,145 @@ def enumerate_states_parallel(
             record_all_conditions=record_all_conditions,
             check_invariants=check_invariants,
             obs=obs,
+            checkpoint=checkpoint,
+            resume=resume,
+            budget=budget,
+            faults=faults,
         )
 
-    global _WORKER_MODEL, _WORKER_COLLECT
+    global _WORKER_MODEL, _WORKER_COLLECT, _WORKER_FAULTS, _WORKER_CODEC
     codec = StateCodec(model.state_vars)
-    graph = StateGraph(model.choice_names)
     started = time.perf_counter()
+    digest = model_digest(model, record_all_conditions)
+    resume_payload = resolve_resume(resume, checkpoint, digest)
+    meter = BudgetMeter(budget)
+    checkpoints_written = 0
+    truncated = False
+    budget_outcome: Optional[str] = None
 
-    reset = model.reset_state()
-    model.validate_state(reset)
-    reset_id, _ = graph.intern_state(codec.pack(reset))
-    assert reset_id == StateGraph.RESET
-    if check_invariants:
-        violated = model.check_invariants(reset)
-        if violated:
-            raise InvariantViolation(reset_id, dict(reset), tuple(violated))
-
-    seen_arcs: Set[Tuple] = set()
-    transitions_explored = 0
-    wave: List[int] = [reset_id]
+    seen_arcs: Set[Tuple]
+    if resume_payload is not None:
+        graph = StateGraph.from_json(resume_payload["graph_json"])
+        seen_arcs = rebuild_seen_arcs(graph, record_all_conditions)
+        transitions_explored = int(resume_payload["transitions_explored"])
+        wave: List[int] = list(resume_payload["frontier"])
+        waves = int(resume_payload["waves_completed"])
+        resumed = True
+        logger.info(
+            "resuming %s from checkpoint: %d states, %d edges, "
+            "%d frontier states, %d waves completed",
+            model.name, graph.num_states, graph.num_edges, len(wave), waves,
+        )
+    else:
+        graph = StateGraph(model.choice_names)
+        reset = model.reset_state()
+        model.validate_state(reset)
+        reset_id, _ = graph.intern_state(codec.pack(reset))
+        assert reset_id == StateGraph.RESET
+        if check_invariants:
+            violated = model.check_invariants(reset)
+            if violated:
+                raise InvariantViolation(reset_id, dict(reset), tuple(violated))
+        seen_arcs = set()
+        transitions_explored = 0
+        wave = [reset_id]
+        waves = 0
+        resumed = False
 
     ctx = multiprocessing.get_context("fork")
     _WORKER_MODEL = model
     _WORKER_COLLECT = obs.enabled
-    waves = 0
+    _WORKER_FAULTS = faults
+    counters = _RecoveryCounters()
+    runner = _ShardRunner(ctx, jobs, retry or RetryPolicy(), obs, counters)
+    frontier_remaining = 0
     try:
-        with ctx.Pool(processes=jobs, initializer=_init_worker) as pool:
-            while wave:
-                wave_started = time.perf_counter()
-                keys = [graph.state_key(src) for src in wave]
-                # Oversplit so a skewed shard cannot stall the whole wave.
-                shards = _shard(keys, jobs * 4)
-                rows: List[List[Tuple[Tuple, int]]] = []
-                for shard_rows, shard_metrics in pool.map(_expand_batch, shards):
-                    rows.extend(shard_rows)
-                    obs.merge(shard_metrics)
-                next_wave: List[int] = []
-                for src_id, row in zip(wave, rows):
-                    for condition, packed_dst in row:
-                        transitions_explored += 1
-                        dst_id, is_new = graph.intern_state(packed_dst)
-                        if is_new:
-                            if max_states is not None and graph.num_states > max_states:
-                                raise EnumerationError(
-                                    f"state count exceeded cap of {max_states} "
-                                    f"while enumerating {model.name!r}"
+        while wave:
+            wave_started = time.perf_counter()
+            keys = [graph.state_key(src) for src in wave]
+            # Oversplit so a skewed shard cannot stall the whole wave.
+            shards = _shard(keys, jobs * 4)
+            if counters.degraded:
+                shard_results = [
+                    _expand_batch(shard, waves, i, 0)
+                    for i, shard in enumerate(shards)
+                ]
+            else:
+                shard_results = runner.run_wave(shards, waves)
+            rows: List[List[Tuple[Tuple, int]]] = []
+            for shard_rows, shard_metrics in shard_results:
+                rows.extend(shard_rows)
+                obs.merge(shard_metrics)
+            next_wave: List[int] = []
+            for src_id, row in zip(wave, rows):
+                for condition, packed_dst in row:
+                    transitions_explored += 1
+                    dst_id, is_new = graph.intern_state(packed_dst)
+                    if is_new:
+                        if max_states is not None and graph.num_states > max_states:
+                            raise EnumerationError(
+                                f"state count exceeded cap of {max_states} "
+                                f"while enumerating {model.name!r}"
+                            )
+                        if check_invariants:
+                            nxt = codec.unpack(packed_dst)
+                            violated = model.check_invariants(nxt)
+                            if violated:
+                                raise InvariantViolation(
+                                    dst_id, dict(nxt), tuple(violated)
                                 )
-                            if check_invariants:
-                                nxt = codec.unpack(packed_dst)
-                                violated = model.check_invariants(nxt)
-                                if violated:
-                                    raise InvariantViolation(
-                                        dst_id, dict(nxt), tuple(violated)
-                                    )
-                            next_wave.append(dst_id)
-                        if record_all_conditions:
-                            arc_key: Tuple = (src_id, dst_id, condition)
-                        else:
-                            arc_key = (src_id, dst_id)
-                        if arc_key not in seen_arcs:
-                            seen_arcs.add(arc_key)
-                            graph.add_edge(src_id, dst_id, condition)
-                obs.observe("enum.wave.frontier_states", len(wave))
-                obs.event("enum.wave", wave=waves, frontier=len(wave),
-                          shards=len(shards), states=graph.num_states,
-                          transitions=transitions_explored,
-                          seconds=time.perf_counter() - wave_started)
-                waves += 1
-                wave = next_wave
+                        next_wave.append(dst_id)
+                    if record_all_conditions:
+                        arc_key: Tuple = (src_id, dst_id, condition)
+                    else:
+                        arc_key = (src_id, dst_id)
+                    if arc_key not in seen_arcs:
+                        seen_arcs.add(arc_key)
+                        graph.add_edge(src_id, dst_id, condition)
+            obs.observe("enum.wave.frontier_states", len(wave))
+            obs.event("enum.wave", wave=waves, frontier=len(wave),
+                      shards=len(shards), states=graph.num_states,
+                      transitions=transitions_explored,
+                      seconds=time.perf_counter() - wave_started)
+            waves += 1
+            wave = next_wave
+            if not wave:
+                break
+            # Wave boundary: the coordinator state is consistent here, so
+            # this is where budgets bite, checkpoints land and scripted
+            # SIGINTs fire (after the checkpoint, like a real Ctrl-C).
+            budget_outcome = meter.exhausted(graph.num_states)
+            if budget_outcome is not None:
+                truncated = True
+                frontier_remaining = len(wave)
+                if checkpoint is not None:
+                    checkpoint.store.save(build_payload(
+                        graph, wave, transitions_explored, waves,
+                        digest, model.name,
+                    ))
+                    checkpoints_written += 1
+                logger.warning(
+                    "budget exhausted (%s) after %d waves: returning partial "
+                    "graph with %d states (%d unexpanded)",
+                    budget_outcome, waves, graph.num_states, len(wave),
+                )
+                break
+            if checkpoint is not None and waves % checkpoint.every_waves == 0:
+                checkpoint.store.save(build_payload(
+                    graph, wave, transitions_explored, waves,
+                    digest, model.name,
+                ))
+                checkpoints_written += 1
+                obs.event("enum.checkpoint", wave=waves,
+                          states=graph.num_states)
+            if faults is not None:
+                faults.boundary_hook(waves)
     finally:
+        runner.shutdown()
         _WORKER_MODEL = None
         _WORKER_COLLECT = False
+        _WORKER_FAULTS = None
+        _WORKER_CODEC = None
 
     elapsed = time.perf_counter() - started
     obs.inc("enum.states", graph.num_states)
@@ -243,5 +496,13 @@ def enumerate_states_parallel(
         transitions_explored=transitions_explored,
         elapsed_seconds=elapsed,
         approx_memory_bytes=_approx_memory(graph, model.state_bits()),
+        truncated=truncated,
+        budget_outcome=budget_outcome,
+        frontier_remaining=frontier_remaining,
+        resumed=resumed,
+        checkpoints_written=checkpoints_written,
+        shards_retried=counters.shards_retried,
+        pool_respawns=counters.pool_respawns,
+        degraded=counters.degraded,
     )
     return graph, stats

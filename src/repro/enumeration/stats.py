@@ -3,11 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
 class EnumerationStats:
-    """What Table 3.2 reports: states, bits per state, runtime, memory, edges."""
+    """What Table 3.2 reports: states, bits per state, runtime, memory, edges.
+
+    The trailing fields describe the run's *resilience* outcome: whether a
+    resource budget truncated it (and which limit), how much of the
+    discovered state space was actually expanded, and what the recovery
+    machinery had to do (checkpoints written, shards retried, pool
+    respawns, degradation to in-process expansion, resume provenance).
+    They default to the quiet values so pre-resilience reports still load.
+    """
 
     model_name: str
     num_states: int
@@ -16,6 +25,22 @@ class EnumerationStats:
     transitions_explored: int
     elapsed_seconds: float
     approx_memory_bytes: int
+    #: True when a :class:`~repro.resilience.Budget` limit stopped the run
+    #: at a wave boundary; the graph is a usable partial result.
+    truncated: bool = False
+    #: Which budget limit was exhausted (``wall_seconds`` / ``max_states``
+    #: / ``max_memory_mb``), or ``None`` for a complete run.
+    budget_outcome: Optional[str] = None
+    #: Discovered-but-unexpanded states left in the frontier at truncation.
+    frontier_remaining: int = 0
+    #: True when this run continued from an on-disk checkpoint.
+    resumed: bool = False
+    checkpoints_written: int = 0
+    shards_retried: int = 0
+    pool_respawns: int = 0
+    #: True when retry exhaustion demoted expansion to the coordinator
+    #: process for the remainder of the run (results are identical).
+    degraded: bool = False
 
     @property
     def reachable_fraction(self) -> float:
@@ -28,9 +53,20 @@ class EnumerationStats:
         possible = 2 ** self.bits_per_state
         return self.num_states / possible
 
+    @property
+    def explored_fraction(self) -> float:
+        """Expanded states over discovered states (1.0 for a complete run).
+
+        The coverage figure a budget-truncated run reports: every state
+        not left in the frontier had its full successor set explored.
+        """
+        if not self.num_states:
+            return 1.0
+        return (self.num_states - self.frontier_remaining) / self.num_states
+
     def as_table_rows(self):
         """Rows in the format of Table 3.2."""
-        return [
+        rows = [
             ("Number of States", f"{self.num_states:,}"),
             ("Number of bits per State", f"{self.bits_per_state}"),
             ("Execution Time", f"{self.elapsed_seconds:,.2f} secs."),
@@ -41,6 +77,14 @@ class EnumerationStats:
             # gap (~2^18 reachable of 2^98 possible).
             ("Reachable Fraction of 2^bits", f"{self.reachable_fraction:.2e}"),
         ]
+        if self.truncated:
+            rows.append(("Budget Outcome",
+                         f"TRUNCATED ({self.budget_outcome} exhausted)"))
+            rows.append(("States Expanded",
+                         f"{self.num_states - self.frontier_remaining:,} of "
+                         f"{self.num_states:,} discovered "
+                         f"({self.explored_fraction:.1%})"))
+        return rows
 
     def format_table(self) -> str:
         rows = self.as_table_rows()

@@ -69,6 +69,12 @@ class ValidationCampaign:
     observer:
         Observability sink (:class:`repro.obs.Observer`), forwarded to the
         pipeline and wrapped around every bug x method evaluation.
+    checkpoint_dir / checkpoint_every / budget / resume:
+        Resilience settings forwarded to the pipeline build: enumeration
+        checkpoints, resource budgets, and continuing an interrupted
+        enumeration.  A budget-truncated build still runs the campaign --
+        over the partial trace set -- and ``enum_stats.truncated`` flags
+        that the bug-detection numbers cover only the explored fraction.
     """
 
     def __init__(
@@ -80,6 +86,10 @@ class ValidationCampaign:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         observer: Optional[Observer] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        budget=None,
+        resume: bool = False,
     ):
         from repro.core.pipeline import ValidationPipeline
 
@@ -95,8 +105,18 @@ class ValidationCampaign:
             cache_dir=cache_dir,
             use_cache=use_cache,
             observer=observer,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            budget=budget,
         )
-        artifacts = self.pipeline.build()
+        artifacts = self.pipeline.build(resume=resume)
+        if artifacts.enumeration.truncated:
+            logger.warning(
+                "campaign running over a budget-truncated build "
+                "(%s exhausted; %.1f%% of discovered states expanded)",
+                artifacts.enumeration.budget_outcome,
+                100 * artifacts.enumeration.explored_fraction,
+            )
         self.control = self.pipeline.control
         self.model = self.control.build()
         self.graph = artifacts.graph

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.enumeration.stats import EnumerationStats
 from repro.obs.observer import Observer, PhaseTiming
+from repro.resilience.atomic import atomic_write_text
 
 #: Report format version; embedded in every document.
 RUN_REPORT_SCHEMA = "repro.run-report/1"
@@ -38,6 +39,11 @@ class RunReport:
     phases: List[Dict[str, Any]] = field(default_factory=list)
     coverage_curve: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Resilience outcome of the run: budget truncation (with coverage of
+    #: the discovered state space), checkpoint/resume provenance, and what
+    #: worker-crash recovery had to do.  Derived from the enumeration stats
+    #: when not supplied explicitly.
+    resilience: Dict[str, Any] = field(default_factory=dict)
     schema: str = RUN_REPORT_SCHEMA
 
     # -- construction ----------------------------------------------------------
@@ -47,6 +53,8 @@ class RunReport:
         cls, command: str, observer: Observer, **fields: Any
     ) -> "RunReport":
         """A report carrying the observer's phases + metrics plus ``fields``."""
+        if fields.get("enumeration") and "resilience" not in fields:
+            fields["resilience"] = _derive_resilience(fields["enumeration"])
         return cls(
             command=command,
             phases=_phase_rows(observer),
@@ -93,16 +101,18 @@ class RunReport:
                     artifacts.graph, artifacts.tours
                 )
             ]
+        enumeration = dataclasses.asdict(validation.enumeration)
         return cls(
             command=command,
             config=dict(config or {}),
-            enumeration=dataclasses.asdict(validation.enumeration),
+            enumeration=enumeration,
             tour_stats=dataclasses.asdict(validation.tour_stats),
             comparison=comparison,
             cache=dict(cache or {"enabled": False, "hit": validation.from_cache}),
             phases=_phase_rows(observer),
             coverage_curve=curve,
             metrics=observer.metrics.snapshot() if observer is not None else {},
+            resilience=_derive_resilience(enumeration),
         )
 
     @classmethod
@@ -143,6 +153,7 @@ class RunReport:
             cache=dict(cache or {}),
             phases=_phase_rows(observer),
             metrics=observer.metrics.snapshot() if observer is not None else {},
+            resilience=_derive_resilience(enumeration),
         )
 
     # -- (de)serialization -----------------------------------------------------
@@ -151,8 +162,9 @@ class RunReport:
         return json.dumps(dataclasses.asdict(self), indent=indent, sort_keys=True)
 
     def write(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
+        # Atomic so an interrupted run never leaves a truncated report --
+        # downstream tooling either sees the old document or the new one.
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def from_json(cls, text: str) -> "RunReport":
@@ -206,6 +218,9 @@ class RunReport:
         if self.campaign:
             sections.append("")
             sections.append(_render_campaign(self.campaign))
+        if self.resilience:
+            sections.append("")
+            sections.append(_render_resilience(self.resilience))
         if self.coverage_curve:
             sections.append("")
             sections.append(_render_curve(self.coverage_curve))
@@ -251,6 +266,53 @@ def _phase_rows(observer: Optional[Observer]) -> List[Dict[str, Any]]:
         }
         for p in ordered
     ]
+
+
+def _derive_resilience(enumeration: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The report's resilience section, computed from enumeration stats.
+
+    Tolerates pre-resilience enumeration dicts (the new stats fields all
+    default) and returns ``{}`` when there is nothing to report.
+    """
+    if not enumeration:
+        return {}
+    try:
+        stats = EnumerationStats(**enumeration)
+    except TypeError:
+        return {}
+    return {
+        "truncated": stats.truncated,
+        "budget_outcome": stats.budget_outcome,
+        "frontier_remaining": stats.frontier_remaining,
+        "explored_fraction": stats.explored_fraction,
+        "resumed": stats.resumed,
+        "checkpoints_written": stats.checkpoints_written,
+        "shards_retried": stats.shards_retried,
+        "pool_respawns": stats.pool_respawns,
+        "degraded": stats.degraded,
+    }
+
+
+def _render_resilience(resilience: Mapping[str, Any]) -> str:
+    lines = ["Resilience"]
+    if resilience.get("truncated"):
+        lines.append(f"  budget:            TRUNCATED "
+                     f"({resilience.get('budget_outcome')} exhausted); "
+                     f"{resilience.get('explored_fraction', 0):.1%} of "
+                     f"discovered states expanded, "
+                     f"{resilience.get('frontier_remaining', 0):,} pending")
+    else:
+        lines.append("  budget:            complete run (no truncation)")
+    lines.append(f"  checkpoints:       {resilience.get('checkpoints_written', 0)} "
+                 f"written{', resumed from checkpoint' if resilience.get('resumed') else ''}")
+    retried = resilience.get("shards_retried", 0)
+    if retried or resilience.get("degraded"):
+        lines.append(f"  worker recovery:   {retried} shard retries, "
+                     f"{resilience.get('pool_respawns', 0)} pool respawns"
+                     f"{', DEGRADED to in-process expansion' if resilience.get('degraded') else ''}")
+    else:
+        lines.append("  worker recovery:   no failures")
+    return "\n".join(lines)
 
 
 def _render_cache(cache: Mapping[str, Any]) -> str:

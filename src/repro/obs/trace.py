@@ -123,8 +123,12 @@ class Tracer:
         return chrome_trace_from_events(self.events)
 
     def write_chrome_trace(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.chrome_trace(), handle)
+        from repro.resilience.atomic import atomic_write_text
+
+        # Atomic: a crash mid-export must not leave a half-written trace
+        # that chrome://tracing rejects (the live JSONL stream is the
+        # incremental record; this export is all-or-nothing).
+        atomic_write_text(path, json.dumps(self.chrome_trace()))
 
 
 def chrome_trace_from_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:

@@ -1,0 +1,40 @@
+"""Atomic file writes: temp file in the target directory + ``os.replace``.
+
+Every observability sink (run reports, Chrome traces, metrics JSON) and
+every checkpoint goes through these helpers so that a run killed mid-write
+never leaves a truncated, unparseable artifact where a good one should be
+-- the reader either sees the previous complete version or the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the path written."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` (UTF-8) to ``path`` atomically; returns the path."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -1,0 +1,87 @@
+"""Resource budgets enforced at enumeration wave boundaries.
+
+A :class:`Budget` bounds a run in wall-clock time, peak memory, or state
+count.  The enumerators check it between waves (the only points where the
+coordinator state is consistent and checkpointable); on exhaustion they
+return the partial graph built so far with ``truncated=True`` and the
+coverage achieved, instead of dying with nothing -- and, when
+checkpointing is on, write a final checkpoint so the run can be resumed
+with a bigger budget later.
+
+Unlike the enumerators' ``max_states=`` cap (a hard error: a silently
+truncated graph would invalidate tour-coverage claims), a budget is an
+*explicit request* for best-effort partial results, and everything
+downstream (pipeline, reports, campaign) is told about the truncation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+try:  # stdlib on POSIX; absent on Windows -- memory budgets become inert
+    import resource
+except ImportError:  # pragma: no cover - POSIX-only repo, defensive
+    resource = None  # type: ignore[assignment]
+
+
+def _peak_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process in MiB, if measurable."""
+    if resource is None:  # pragma: no cover
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits for one enumeration run; ``None`` fields are unbounded.
+
+    ``max_states`` truncates gracefully once the discovered-state count
+    reaches the limit at a wave boundary (contrast with the enumerators'
+    ``max_states=`` kwarg, which raises).
+    """
+
+    wall_seconds: Optional[float] = None
+    max_memory_mb: Optional[float] = None
+    max_states: Optional[int] = None
+
+    def start(self) -> "BudgetMeter":
+        return BudgetMeter(self)
+
+    def __bool__(self) -> bool:
+        return any(
+            limit is not None
+            for limit in (self.wall_seconds, self.max_memory_mb, self.max_states)
+        )
+
+
+class BudgetMeter:
+    """A running budget: started at enumeration begin, polled per wave."""
+
+    def __init__(self, budget: Optional[Budget]):
+        self.budget = budget
+        self.started = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def exhausted(self, num_states: int) -> Optional[str]:
+        """The name of the first exhausted limit, or ``None`` if within budget."""
+        budget = self.budget
+        if budget is None:
+            return None
+        if budget.wall_seconds is not None and self.elapsed() >= budget.wall_seconds:
+            return "wall_seconds"
+        if budget.max_states is not None and num_states >= budget.max_states:
+            return "max_states"
+        if budget.max_memory_mb is not None:
+            rss = _peak_rss_mb()
+            if rss is not None and rss >= budget.max_memory_mb:
+                return "max_memory_mb"
+        return None

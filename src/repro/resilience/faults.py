@@ -1,0 +1,92 @@
+"""Deterministic fault injection for the enumeration harness itself.
+
+A :class:`FaultPlan` scripts failures at exact, reproducible points so the
+chaos suite (``tests/test_resilience.py``) can prove every recovery path:
+
+- **kill a worker** expanding shard S of wave W (``os._exit`` inside the
+  forked worker -- indistinguishable from an OOM kill);
+- **stall a shard** past the coordinator's per-shard timeout;
+- **deliver SIGINT** to the coordinator at a wave boundary, after the
+  checkpoint for that boundary is written (a scripted Ctrl-C);
+- **corrupt on-disk artifacts** (cache pickles, manifests, checkpoints)
+  with a seeded byte-flip or truncation via :func:`corrupt_file`.
+
+Worker-side hooks only fire inside forked pool workers (guarded by a flag
+the pool initializer sets), so degraded in-process expansion can never
+kill the coordinator.  All of this is test machinery: production runs
+simply pass ``faults=None`` everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, scripted set of failures for one enumeration run."""
+
+    seed: int = 0
+    #: Kill the worker expanding ``(wave, shard)``; ``kill_attempts`` is how
+    #: many successive attempts die (large values force retry exhaustion
+    #: and the degraded-to-sequential path).
+    kill_shard: Optional[Tuple[int, int]] = None
+    kill_attempts: int = 1
+    #: Stall the worker expanding ``(wave, shard)`` for ``slow_seconds`` on
+    #: its first ``slow_attempts`` attempts (trips the shard timeout).
+    slow_shard: Optional[Tuple[int, int]] = None
+    slow_seconds: float = 0.0
+    slow_attempts: int = 1
+    #: Deliver SIGINT to the coordinator once this many waves completed
+    #: (fires after that boundary's checkpoint, if any, is written).
+    sigint_after_wave: Optional[int] = None
+
+    def worker_hook(self, wave: int, shard: int, attempt: int) -> None:
+        """Run inside a pool worker at the start of shard expansion."""
+        if self.slow_shard == (wave, shard) and attempt < self.slow_attempts:
+            time.sleep(self.slow_seconds)
+        if self.kill_shard == (wave, shard) and attempt < self.kill_attempts:
+            os._exit(3)
+
+    def boundary_hook(self, waves_completed: int) -> None:
+        """Run by the coordinator after each wave boundary's bookkeeping."""
+        if self.sigint_after_wave == waves_completed:
+            if threading.current_thread() is threading.main_thread():
+                # A real signal: exercises the interpreter's KeyboardInterrupt
+                # delivery exactly like an operator's Ctrl-C.
+                os.kill(os.getpid(), signal.SIGINT)
+            else:  # pragma: no cover - signal semantics need the main thread
+                raise KeyboardInterrupt
+
+
+def corrupt_file(
+    path: Union[str, Path],
+    seed: int = 0,
+    mode: str = "flip",
+) -> Path:
+    """Deterministically damage a file: ``flip`` a byte or ``truncate`` it.
+
+    The seeded RNG picks the byte to flip (and the value XORed into it),
+    so a chaos test corrupts the same offset on every run.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    rng = random.Random(seed)
+    if mode == "truncate":
+        path.write_bytes(bytes(data[: len(data) // 2]))
+    elif mode == "flip":
+        if not data:
+            raise ValueError(f"cannot byte-flip empty file {path}")
+        index = rng.randrange(len(data))
+        data[index] ^= rng.randrange(1, 256)
+        path.write_bytes(bytes(data))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path

@@ -1,5 +1,6 @@
 """Tests for the persistent artifact cache and its pipeline wiring."""
 
+import hashlib
 import json
 import pickle
 
@@ -56,7 +57,12 @@ class TestArtifactCache:
         assert cache.has("k" * 64)
         assert cache.load("k" * 64) == payload
         manifest = json.loads(cache.manifest_path("k" * 64).read_text())
-        assert manifest == {"why": "test"}
+        assert manifest["why"] == "test"
+        # store() stamps integrity metadata alongside the caller's fields.
+        assert manifest["sha256"] == hashlib.sha256(
+            cache.pickle_path("k" * 64).read_bytes()
+        ).hexdigest()
+        assert manifest["size"] == cache.pickle_path("k" * 64).stat().st_size
 
     @pytest.mark.parametrize(
         "garbage",
