@@ -90,6 +90,11 @@ class ValidationPipeline:
     retry:
         :class:`~repro.resilience.RetryPolicy` for parallel enumeration's
         worker-crash recovery (``jobs > 1`` only).
+    kernel:
+        Transition kernel for enumeration: ``"compiled"`` (default) or
+        ``"interpreted"`` (see :mod:`repro.enumeration.kernel`).  Both
+        produce bit-identical graphs, so the kernel is deliberately *not*
+        part of the artifact cache key -- cached builds are shared.
     """
 
     def __init__(
@@ -106,6 +111,7 @@ class ValidationPipeline:
         checkpoint_every: int = 1,
         budget: Optional[Budget] = None,
         retry: Optional[RetryPolicy] = None,
+        kernel: str = "compiled",
     ):
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.max_instructions_per_trace = max_instructions_per_trace
@@ -119,6 +125,7 @@ class ValidationPipeline:
         self.checkpoint_every = checkpoint_every
         self.budget = budget
         self.retry = retry
+        self.kernel = kernel
         self.control = PPControlModel(self.model_config)
         self._artifacts: Optional[PipelineArtifacts] = None
         #: True when the last :meth:`build` was served from the cache.
@@ -225,6 +232,7 @@ class ValidationPipeline:
                         budget=self.budget,
                         retry=self.retry,
                         faults=faults,
+                        kernel=self.kernel,
                     )
                 else:
                     graph, stats = enumerate_states(
@@ -235,6 +243,7 @@ class ValidationPipeline:
                         resume=resume,
                         budget=self.budget,
                         faults=faults,
+                        kernel=self.kernel,
                     )
             if stats.truncated:
                 logger.warning(

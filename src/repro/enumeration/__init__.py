@@ -6,6 +6,13 @@ which transition tours are derived.
 """
 
 from repro.enumeration.graph import StateGraph, Edge
+from repro.enumeration.kernel import (
+    KERNEL_MODES,
+    CompiledKernel,
+    InterpretedKernel,
+    compile_model,
+    resolve_kernel,
+)
 from repro.enumeration.bfs import enumerate_states, EnumerationError, InvariantViolation
 from repro.enumeration.parallel import enumerate_states_parallel
 from repro.enumeration.stats import EnumerationStats
@@ -18,6 +25,11 @@ from repro.enumeration.analysis import (
 )
 
 __all__ = [
+    "KERNEL_MODES",
+    "CompiledKernel",
+    "InterpretedKernel",
+    "compile_model",
+    "resolve_kernel",
     "GraphProfile",
     "depth_histogram",
     "depths_from_reset",

@@ -10,6 +10,15 @@ mask implementations with *fewer* behaviours (Fig. 4.2).  The fix the
 paper proposes, recording every unique transition condition, is available
 via ``record_all_conditions=True`` and is benchmarked as an ablation.
 
+Transition kernels
+------------------
+The hot loop -- expanding one state into its ordered successor list --
+is delegated to a *transition kernel* (:mod:`repro.enumeration.kernel`).
+``kernel="compiled"`` (the default) precompiles the model's choice
+tables and state codec and skips per-transition re-validation; it
+produces a graph **bit-identical** to ``kernel="interpreted"``, the
+fully validated reference path kept as a debugging escape hatch.
+
 Resilience
 ----------
 Long enumerations survive interruption: ``checkpoint=`` snapshots the
@@ -30,6 +39,7 @@ from collections import deque
 from typing import Dict, Optional, Set, Tuple
 
 from repro.enumeration.graph import StateGraph
+from repro.enumeration.kernel import KernelSpec, flush_kernel_metrics, resolve_kernel
 from repro.enumeration.stats import EnumerationStats
 from repro.obs.observer import Observer, resolve
 from repro.resilience.budget import Budget, BudgetMeter
@@ -41,7 +51,6 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import FaultPlan
 from repro.smurphi.model import SyncModel
-from repro.smurphi.state import StateCodec
 
 logger = logging.getLogger("repro.enumeration")
 
@@ -83,6 +92,7 @@ def enumerate_states(
     resume=None,
     budget: Optional[Budget] = None,
     faults: Optional[FaultPlan] = None,
+    kernel: KernelSpec = "compiled",
 ) -> Tuple[StateGraph, EnumerationStats]:
     """Fully enumerate ``model`` from reset; return its state graph and stats.
 
@@ -122,9 +132,16 @@ def enumerate_states(
     faults:
         Deterministic :class:`~repro.resilience.FaultPlan` for the chaos
         suite (the sequential engine honours the SIGINT-at-wave fault).
+    kernel:
+        Transition kernel: ``"compiled"`` (default; precompiled choice
+        tables + specialized codec + reduced validation), ``"interpreted"``
+        (the fully validated reference path), or a pre-built kernel object
+        from :mod:`repro.enumeration.kernel`.  Both modes produce
+        bit-identical graphs and identical ``enum.*`` counter totals.
     """
     obs = resolve(obs)
-    codec = StateCodec(model.state_vars)
+    kern = resolve_kernel(model, kernel)
+    kernel_before = kern.counters()
     started = time.perf_counter()
     digest = model_digest(model, record_all_conditions)
     resume_payload = resolve_resume(resume, checkpoint, digest)
@@ -159,7 +176,7 @@ def enumerate_states(
         graph = StateGraph(model.choice_names)
         reset = model.reset_state()
         model.validate_state(reset)
-        reset_id, _ = graph.intern_state(codec.pack(reset))
+        reset_id, _ = graph.intern_state(kern.reset_key())
         assert reset_id == StateGraph.RESET
         if check_invariants:
             violated = model.check_invariants(reset)
@@ -213,11 +230,9 @@ def enumerate_states(
             if faults is not None:
                 faults.boundary_hook(waves_completed)
         src_id = frontier.popleft()
-        src_state = codec.unpack(graph.state_key(src_id))
-        for choice in model.enumerate_choices(src_state):
+        for condition, packed_dst in kern.expand(graph.state_key(src_id)):
             transitions_explored += 1
-            nxt = model.step(src_state, choice)
-            dst_id, is_new = graph.intern_state(codec.pack(nxt))
+            dst_id, is_new = graph.intern_state(packed_dst)
             if is_new:
                 if max_states is not None and graph.num_states > max_states:
                     raise EnumerationError(
@@ -225,11 +240,11 @@ def enumerate_states(
                         f"while enumerating {model.name!r}"
                     )
                 if check_invariants:
+                    nxt = kern.unpack(packed_dst)
                     violated = model.check_invariants(nxt)
                     if violated:
-                        raise InvariantViolation(dst_id, dict(nxt), tuple(violated))
+                        raise InvariantViolation(dst_id, nxt, tuple(violated))
                 frontier.append(dst_id)
-            condition = tuple(choice[name] for name in model.choice_names)
             arc_key: Tuple
             if record_all_conditions:
                 arc_key = (src_id, dst_id, condition)
@@ -250,6 +265,7 @@ def enumerate_states(
     obs.inc("enum.waves", waves)
     obs.gauge("enum.bits_per_state", model.state_bits())
     obs.observe("enum.seconds", elapsed, mode="sequential")
+    flush_kernel_metrics(obs, kern, kernel_before)
     logger.info(
         "enumerated %s: %d states, %d edges, %d transitions, %d waves in %.3fs",
         model.name, graph.num_states, graph.num_edges,

@@ -48,6 +48,8 @@ class StateGraph:
         self._state_keys: List[int] = []
         self._edges: List[Edge] = []
         self._out: List[List[int]] = []
+        self._adjacency: Optional[Tuple[Tuple[Tuple[int, int], ...], ...]] = None
+        self._adjacency_stamp: Tuple[int, int] = (0, 0)
 
     # -- construction --------------------------------------------------------
 
@@ -94,6 +96,24 @@ class StateGraph:
 
     def out_edge_indices(self, state_id: int) -> Sequence[int]:
         return self._out[state_id]
+
+    def out_adjacency(self) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+        """Per-state ``((edge_index, dst), ...)`` view of the out-edges.
+
+        Built once and cached; the tour generator's DFS and explore phases
+        walk out-edges of the same (now frozen) graph many times over, and
+        this view spares them an ``Edge`` attribute lookup per step.  The
+        cache is stamped with ``(num_states, num_edges)`` so mutating the
+        graph after a call transparently rebuilds it.
+        """
+        stamp = (len(self._state_keys), len(self._edges))
+        if self._adjacency is None or self._adjacency_stamp != stamp:
+            edges = self._edges
+            self._adjacency = tuple(
+                tuple((i, edges[i].dst) for i in out) for out in self._out
+            )
+            self._adjacency_stamp = stamp
+        return self._adjacency
 
     def out_edges(self, state_id: int) -> Iterator[Edge]:
         for index in self._out[state_id]:

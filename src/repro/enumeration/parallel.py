@@ -79,6 +79,12 @@ from repro.enumeration.bfs import (
     rebuild_seen_arcs,
 )
 from repro.enumeration.graph import StateGraph
+from repro.enumeration.kernel import (
+    Kernel,
+    KernelSpec,
+    flush_kernel_metrics,
+    resolve_kernel,
+)
 from repro.enumeration.stats import EnumerationStats
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer, resolve
@@ -92,14 +98,17 @@ from repro.resilience.checkpoint import (
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import RetryPolicy
 from repro.smurphi.model import SyncModel
-from repro.smurphi.state import StateCodec
 
 logger = logging.getLogger("repro.enumeration")
 
 #: Model published by the coordinator immediately before the pool forks;
 #: worker processes inherit it (closures and all) without pickling.
 _WORKER_MODEL: Optional[SyncModel] = None
-_WORKER_CODEC: Optional[StateCodec] = None
+#: Transition kernel published alongside the model.  The coordinator
+#: compiles it ONCE before the pool forks, so every worker inherits the
+#: ready-built choice tables / codec closures (and any warm successor
+#: memo) instead of compiling per shard or per process.
+_WORKER_KERNEL: Optional[Kernel] = None
 #: Whether workers should collect per-shard metrics snapshots (set by the
 #: coordinator before the fork; False keeps the no-sink path overhead-free).
 _WORKER_COLLECT: bool = False
@@ -122,10 +131,9 @@ _SHARD_FAILURES = (
 
 
 def _init_worker() -> None:
-    """Per-worker setup: build the codec once from the inherited model."""
-    global _WORKER_CODEC, _IN_WORKER
+    """Per-worker setup: mark the process so worker-only faults can fire."""
+    global _IN_WORKER
     _IN_WORKER = True
-    _WORKER_CODEC = StateCodec(_WORKER_MODEL.state_vars)
 
 
 def _expand_batch(
@@ -145,23 +153,16 @@ def _expand_batch(
     Also the degraded-mode workhorse: the coordinator calls it in-process
     when the retry budget is spent (fault hooks stay inert there).
     """
-    global _WORKER_CODEC
+    global _WORKER_KERNEL
     if _IN_WORKER and _WORKER_FAULTS is not None:
         _WORKER_FAULTS.worker_hook(wave, shard, attempt)
     started = time.perf_counter()
-    model = _WORKER_MODEL
-    if _WORKER_CODEC is None:
-        _WORKER_CODEC = StateCodec(model.state_vars)
-    codec = _WORKER_CODEC
-    names = model.choice_names
-    rows: List[List[Tuple[Tuple, int]]] = []
-    for key in packed_keys:
-        state = codec.unpack(key)
-        row = []
-        for choice in model.enumerate_choices(state):
-            nxt = model.step(state, choice)
-            row.append((tuple(choice[n] for n in names), codec.pack(nxt)))
-        rows.append(row)
+    if _WORKER_KERNEL is None:
+        _WORKER_KERNEL = resolve_kernel(_WORKER_MODEL)
+    kern = _WORKER_KERNEL
+    kernel_before = kern.counters()
+    expand = kern.expand
+    rows: List[List[Tuple[Tuple, int]]] = [list(expand(key)) for key in packed_keys]
     if not _WORKER_COLLECT:
         return rows, None
     registry = MetricsRegistry()
@@ -171,6 +172,10 @@ def _expand_batch(
     registry.observe(
         "enum.shard.seconds", time.perf_counter() - started, worker=worker
     )
+    for name, value in kern.counters().items():
+        delta = value - kernel_before.get(name, 0)
+        if delta:
+            registry.inc(f"enum.kernel.{name}", delta, worker=worker)
     return rows, registry.snapshot()
 
 
@@ -303,6 +308,7 @@ def enumerate_states_parallel(
     budget: Optional[Budget] = None,
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
+    kernel: KernelSpec = "compiled",
 ) -> Tuple[StateGraph, EnumerationStats]:
     """Enumerate ``model`` with ``jobs`` worker processes.
 
@@ -324,6 +330,11 @@ def enumerate_states_parallel(
     regardless of ``jobs``) plus merged worker-side shard metrics
     (``enum.shard.*``, labeled by worker pid) and recovery counters
     (``enum.shards_retried`` / ``enum.pool_respawns``).
+
+    ``kernel`` selects the transition kernel exactly as on the sequential
+    engine.  The coordinator resolves (compiles) the kernel once, before
+    the pool is created, so forked workers inherit the ready-built kernel
+    -- one compilation per run, not per worker or per shard.
     """
     obs = resolve(obs)
     if jobs is None:
@@ -339,10 +350,12 @@ def enumerate_states_parallel(
             resume=resume,
             budget=budget,
             faults=faults,
+            kernel=kernel,
         )
 
-    global _WORKER_MODEL, _WORKER_COLLECT, _WORKER_FAULTS, _WORKER_CODEC
-    codec = StateCodec(model.state_vars)
+    global _WORKER_MODEL, _WORKER_COLLECT, _WORKER_FAULTS, _WORKER_KERNEL
+    kern = resolve_kernel(model, kernel)
+    kernel_before = kern.counters()
     started = time.perf_counter()
     digest = model_digest(model, record_all_conditions)
     resume_payload = resolve_resume(resume, checkpoint, digest)
@@ -368,7 +381,7 @@ def enumerate_states_parallel(
         graph = StateGraph(model.choice_names)
         reset = model.reset_state()
         model.validate_state(reset)
-        reset_id, _ = graph.intern_state(codec.pack(reset))
+        reset_id, _ = graph.intern_state(kern.reset_key())
         assert reset_id == StateGraph.RESET
         if check_invariants:
             violated = model.check_invariants(reset)
@@ -382,6 +395,7 @@ def enumerate_states_parallel(
 
     ctx = multiprocessing.get_context("fork")
     _WORKER_MODEL = model
+    _WORKER_KERNEL = kern
     _WORKER_COLLECT = obs.enabled
     _WORKER_FAULTS = faults
     counters = _RecoveryCounters()
@@ -416,11 +430,11 @@ def enumerate_states_parallel(
                                 f"while enumerating {model.name!r}"
                             )
                         if check_invariants:
-                            nxt = codec.unpack(packed_dst)
+                            nxt = kern.unpack(packed_dst)
                             violated = model.check_invariants(nxt)
                             if violated:
                                 raise InvariantViolation(
-                                    dst_id, dict(nxt), tuple(violated)
+                                    dst_id, nxt, tuple(violated)
                                 )
                         next_wave.append(dst_id)
                     if record_all_conditions:
@@ -473,7 +487,7 @@ def enumerate_states_parallel(
         _WORKER_MODEL = None
         _WORKER_COLLECT = False
         _WORKER_FAULTS = None
-        _WORKER_CODEC = None
+        _WORKER_KERNEL = None
 
     elapsed = time.perf_counter() - started
     obs.inc("enum.states", graph.num_states)
@@ -482,6 +496,9 @@ def enumerate_states_parallel(
     obs.inc("enum.waves", waves)
     obs.gauge("enum.bits_per_state", model.state_bits())
     obs.observe("enum.seconds", elapsed, mode="parallel")
+    # Coordinator-side kernel deltas (degraded-mode expansions land here;
+    # worker-side expansions arrive via the merged shard registries).
+    flush_kernel_metrics(obs, kern, kernel_before)
     logger.info(
         "enumerated %s with %d workers: %d states, %d edges, "
         "%d transitions, %d waves in %.3fs",

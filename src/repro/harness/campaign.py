@@ -75,6 +75,10 @@ class ValidationCampaign:
         enumeration.  A budget-truncated build still runs the campaign --
         over the partial trace set -- and ``enum_stats.truncated`` flags
         that the bug-detection numbers cover only the explored fraction.
+    kernel:
+        Transition kernel for enumeration (``"compiled"`` default,
+        ``"interpreted"`` the validated reference path), forwarded to the
+        pipeline.
     """
 
     def __init__(
@@ -90,6 +94,7 @@ class ValidationCampaign:
         checkpoint_every: int = 1,
         budget=None,
         resume: bool = False,
+        kernel: str = "compiled",
     ):
         from repro.core.pipeline import ValidationPipeline
 
@@ -108,6 +113,7 @@ class ValidationCampaign:
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             budget=budget,
+            kernel=kernel,
         )
         artifacts = self.pipeline.build(resume=resume)
         if artifacts.enumeration.truncated:

@@ -176,10 +176,16 @@ class SyncModel:
 
         Inactive choice points (guard false) are pinned to their inactive
         value rather than permuted, which prunes the combination count
-        without losing reachable behaviour.
+        without losing reachable behaviour.  Each guard is evaluated
+        exactly once per state.
         """
-        active = [c for c in self.choices if c.active_in(state)]
-        inactive = {c.name: c.inactive_value for c in self.choices if not c.active_in(state)}
+        active = []
+        inactive = {}
+        for c in self.choices:
+            if c.active_in(state):
+                active.append(c)
+            else:
+                inactive[c.name] = c.inactive_value
         if not active:
             yield dict(inactive)
             return

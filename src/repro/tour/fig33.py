@@ -146,11 +146,14 @@ class TourGenerator:
         obs = resolve(obs)
         started = time.perf_counter()
         graph = self.graph
+        # One shared (edge_index, dst) adjacency view for every DFS walk
+        # and explore restart of this run (the graph is frozen by now).
+        adjacency = graph.out_adjacency()
         traversed = [False] * graph.num_edges
         # Per-state cursor into the out-edge list: edges before the cursor
         # are all traversed, so the DFS scan restarts where it left off.
         cursors = [0] * graph.num_states
-        untraversed_out = [len(graph.out_edge_indices(s)) for s in range(graph.num_states)]
+        untraversed_out = [len(out) for out in adjacency]
         remaining = graph.num_edges
 
         tours: List[Tour] = []
@@ -162,11 +165,13 @@ class TourGenerator:
             state = StateGraph.RESET
             limit_hit = False
             while True:
-                state = self._traverse_dfs(state, tour, traversed, cursors, untraversed_out)
+                state = self._traverse_dfs(
+                    state, tour, traversed, cursors, untraversed_out, adjacency
+                )
                 if self.max_instructions is not None and tour.instructions >= self.max_instructions:
                     limit_hit = True
                     break
-                path = self._explore_bfs(state, untraversed_out)
+                path = self._explore_bfs(state, untraversed_out, adjacency)
                 if path is None:
                     break  # nothing else reachable: close this tour
                 if path:
@@ -222,24 +227,24 @@ class TourGenerator:
         traversed: List[bool],
         cursors: List[int],
         untraversed_out: List[int],
+        adjacency: Sequence[Sequence[tuple]],
     ) -> int:
         """Greedy depth-first phase: follow untraversed arcs until stuck.
 
         States can be visited multiple times as long as an untraversed arc
         leaves them; a vector is generated for every arc taken.
         """
-        graph = self.graph
         while untraversed_out[state]:
-            out = graph.out_edge_indices(state)
+            out = adjacency[state]
             cursor = cursors[state]
-            while cursor < len(out) and traversed[out[cursor]]:
+            while cursor < len(out) and traversed[out[cursor][0]]:
                 cursor += 1
             cursors[state] = cursor
             if cursor >= len(out):
                 break  # stale counter; nothing actually untraversed here
-            index = out[cursor]
+            index, dst = out[cursor]
             self._take(index, tour, traversed, untraversed_out)
-            state = graph.edge(index).dst
+            state = dst
             # Limit check comes *after* taking an arc: every DFS round makes
             # at least one arc of progress, so a long explore path can never
             # starve the trace into repeating itself forever.
@@ -247,7 +252,12 @@ class TourGenerator:
                 break
         return state
 
-    def _explore_bfs(self, state: int, untraversed_out: List[int]) -> Optional[List[int]]:
+    def _explore_bfs(
+        self,
+        state: int,
+        untraversed_out: List[int],
+        adjacency: Sequence[Sequence[tuple]],
+    ) -> Optional[List[int]]:
         """Explore phase: shortest path (over *all* arcs) from ``state`` to
         any state with an untraversed out-arc, or ``None`` if unreachable.
 
@@ -256,13 +266,11 @@ class TourGenerator:
         """
         if untraversed_out[state]:
             return []
-        graph = self.graph
         parent_edge: dict = {state: None}
         queue = deque([state])
         while queue:
             current = queue.popleft()
-            for index in graph.out_edge_indices(current):
-                dst = graph.edge(index).dst
+            for index, dst in adjacency[current]:
                 if dst in parent_edge:
                     continue
                 parent_edge[dst] = index

@@ -1,0 +1,419 @@
+"""The compiled transition kernel: bit-identity, soundness, metrics.
+
+The golden property: ``kernel="compiled"`` and ``kernel="interpreted"``
+produce byte-identical state graphs -- same states, same ids, same edges,
+same condition tuples -- on every model, at every job count, in both
+condition-recording modes, and across checkpoint/resume (a checkpoint
+written by one kernel resumes under the other).  The property tests
+drive randomly generated models through both kernels; the soundness
+tests pin down exactly which validation the fast path is allowed to
+skip and prove the escape hatches (``strict=True``, pack-failure
+fallback) restore the interpreted diagnostics.
+"""
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.enumeration import (
+    KERNEL_MODES,
+    CompiledKernel,
+    InterpretedKernel,
+    compile_model,
+    enumerate_states,
+    enumerate_states_parallel,
+    resolve_kernel,
+)
+from repro.obs import Observer
+from repro.pp.fsm_model import PPModelConfig, build_pp_control_model
+from repro.resilience import CheckpointConfig, FaultPlan
+from repro.smurphi import (
+    BoolType,
+    ChoicePoint,
+    EnumType,
+    ModelError,
+    RangeType,
+    StateVar,
+    SyncModel,
+)
+
+SMALL = PPModelConfig(fill_words=1)
+
+
+def small_model():
+    return build_pp_control_model(SMALL)
+
+
+# ---------------------------------------------------------------------------
+# Random model generator for the property tests
+# ---------------------------------------------------------------------------
+
+
+def _stable_hash(*parts) -> int:
+    """Deterministic across processes and Python versions (unlike hash())."""
+    return zlib.crc32(repr(parts).encode())
+
+
+def random_model(seed: int, guard_heavy: bool = False) -> SyncModel:
+    """A small random SyncModel with mixed var types and guarded choices.
+
+    ``next_state`` hashes (state, choice) into each variable's domain, so
+    transition structure is arbitrary but fully deterministic.  With
+    ``guard_heavy`` every choice is guarded, which makes zero-active-choice
+    states (every guard false -> exactly one pinned combination) common.
+    """
+    rng = random.Random(seed)
+    type_makers = [
+        lambda: BoolType(),
+        lambda: EnumType("rand_enum", [f"e{i}" for i in range(rng.randint(2, 4))]),
+        lambda: RangeType(0, rng.randint(1, 4)),
+    ]
+    state_vars = []
+    for i in range(rng.randint(2, 4)):
+        var_type = rng.choice(type_makers)()
+        reset = rng.choice(var_type.values())
+        state_vars.append(StateVar(f"v{i}", var_type, reset))
+
+    def make_guard(var_name, value):
+        return lambda state, _n=var_name, _v=value: state[_n] == _v
+
+    choices = []
+    for i in range(rng.randint(1, 3)):
+        choice_type = rng.choice(type_makers)()
+        guarded = guard_heavy or rng.random() < 0.5
+        guard = None
+        if guarded:
+            watched = rng.choice(state_vars)
+            guard = make_guard(watched.name, rng.choice(watched.type.values()))
+        choices.append(ChoicePoint(f"c{i}", choice_type, guard=guard))
+
+    domains = {v.name: v.type.values() for v in state_vars}
+
+    def next_state(state, choice, _domains=domains):
+        items = tuple(sorted(state.items())) + tuple(sorted(choice.items()))
+        return {
+            name: values[_stable_hash(name, items) % len(values)]
+            for name, values in _domains.items()
+        }
+
+    return SyncModel(f"random{seed}", state_vars, choices, next_state)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: compiled == interpreted, expansion by expansion
+# ---------------------------------------------------------------------------
+
+
+class TestRandomModelBitIdentity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_graphs_identical(self, seed):
+        model = random_model(seed)
+        interpreted, _ = enumerate_states(model, kernel="interpreted")
+        compiled, _ = enumerate_states(model, kernel="compiled")
+        assert compiled.to_json() == interpreted.to_json()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_guard_heavy_graphs_identical(self, seed):
+        model = random_model(seed, guard_heavy=True)
+        interpreted, _ = enumerate_states(model, kernel="interpreted")
+        compiled, _ = enumerate_states(model, kernel="compiled")
+        assert compiled.to_json() == interpreted.to_json()
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_per_state_expansions_identical(self, seed):
+        """Not just the final graph: every expansion row matches exactly
+        (successor keys, condition tuples, and their order)."""
+        model = random_model(seed, guard_heavy=True)
+        graph, _ = enumerate_states(model, kernel="interpreted")
+        interp = InterpretedKernel(model)
+        comp = compile_model(model)
+        for state_id in range(graph.num_states):
+            key = graph.state_key(state_id)
+            assert tuple(interp.expand(key)) == comp.expand(key)
+
+    def test_zero_active_choice_state_yields_single_pinned_combo(self):
+        model = SyncModel(
+            "all_guards_false",
+            state_vars=[StateVar("q", BoolType(), False)],
+            choices=[
+                ChoicePoint("a", BoolType(), guard=lambda s: s["q"]),
+                ChoicePoint("b", EnumType("xy", ["x", "y"]),
+                            guard=lambda s: s["q"], inactive_value="y"),
+            ],
+            next_state=lambda s, c: {"q": s["q"]},
+        )
+        kern = compile_model(model)
+        row = kern.expand(kern.reset_key())
+        # Both guards false at reset: one combination, choices pinned to
+        # their inactive values, in declaration order.
+        assert row == (((False, "y"), kern.reset_key()),)
+        assert tuple(InterpretedKernel(model).expand(kern.reset_key())) == row
+
+    @pytest.mark.parametrize("record_all", [False, True])
+    def test_record_modes_identical(self, record_all):
+        model = random_model(99)
+        interpreted, _ = enumerate_states(
+            model, record_all_conditions=record_all, kernel="interpreted"
+        )
+        compiled, _ = enumerate_states(
+            model, record_all_conditions=record_all, kernel="compiled"
+        )
+        assert compiled.to_json() == interpreted.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Golden tests on the PP model
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pp_golden():
+    graph, _ = enumerate_states(small_model(), kernel="interpreted")
+    return graph.to_json()
+
+
+class TestPPGolden:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_compiled_matches_interpreted(self, pp_golden, jobs):
+        graph, _ = enumerate_states_parallel(
+            small_model(), jobs=jobs, kernel="compiled"
+        )
+        assert graph.to_json() == pp_golden
+
+    @pytest.mark.parametrize("record_all", [False, True])
+    def test_record_modes(self, record_all):
+        interpreted, _ = enumerate_states(
+            small_model(), record_all_conditions=record_all,
+            kernel="interpreted",
+        )
+        compiled, _ = enumerate_states(
+            small_model(), record_all_conditions=record_all, kernel="compiled"
+        )
+        assert compiled.to_json() == interpreted.to_json()
+
+    def test_interpreted_checkpoint_resumes_under_compiled(
+        self, tmp_path, pp_golden
+    ):
+        """Checkpoints are kernel-interchangeable: interrupt an interpreted
+        run, resume compiled (and the reverse), byte-compare."""
+        checkpoint = CheckpointConfig(tmp_path, every_waves=1)
+        with pytest.raises(KeyboardInterrupt):
+            enumerate_states(
+                small_model(), checkpoint=checkpoint,
+                faults=FaultPlan(sigint_after_wave=3), kernel="interpreted",
+            )
+        graph, stats = enumerate_states(
+            small_model(), checkpoint=checkpoint, resume=True,
+            kernel="compiled",
+        )
+        assert graph.to_json() == pp_golden
+        assert stats.resumed
+
+    def test_compiled_checkpoint_resumes_under_interpreted(
+        self, tmp_path, pp_golden
+    ):
+        checkpoint = CheckpointConfig(tmp_path, every_waves=1)
+        with pytest.raises(KeyboardInterrupt):
+            enumerate_states(
+                small_model(), checkpoint=checkpoint,
+                faults=FaultPlan(sigint_after_wave=3), kernel="compiled",
+            )
+        graph, _ = enumerate_states(
+            small_model(), checkpoint=checkpoint, resume=True,
+            kernel="interpreted",
+        )
+        assert graph.to_json() == pp_golden
+
+
+# ---------------------------------------------------------------------------
+# Kernel mechanics: resolution, caching, memo
+# ---------------------------------------------------------------------------
+
+
+class TestKernelResolution:
+    def test_unknown_kernel_string_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel(small_model(), "vectorized")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            enumerate_states(small_model(), kernel="bogus")
+
+    def test_default_and_none_compile(self):
+        model = small_model()
+        assert resolve_kernel(model).kind == "compiled"
+        assert resolve_kernel(model, None).kind == "compiled"
+        assert resolve_kernel(model, "interpreted").kind == "interpreted"
+        assert tuple(KERNEL_MODES) == ("compiled", "interpreted")
+
+    def test_kernel_instances_pass_through(self):
+        model = small_model()
+        kern = CompiledKernel(model, strict=True)
+        assert resolve_kernel(model, kern) is kern
+
+    def test_compile_model_caches_per_options(self):
+        model = small_model()
+        assert compile_model(model) is compile_model(model)
+        assert compile_model(model) is not compile_model(model, strict=True)
+        # A different model instance gets its own kernel (and memo).
+        assert compile_model(model) is not compile_model(small_model())
+
+    def test_memo_reused_across_runs_and_record_modes(self):
+        model = small_model()
+        first, _ = enumerate_states(model, kernel="compiled")
+        kern = compile_model(model)
+        assert kern.memo_hits == 0
+        assert kern.memo_entries == first.num_states
+        enumerate_states(model, record_all_conditions=True, kernel="compiled")
+        assert kern.memo_hits >= first.num_states
+
+    def test_memo_can_be_disabled(self):
+        model = random_model(5)
+        kern = CompiledKernel(model, memo=False)
+        graph, _ = enumerate_states(model, kernel=kern)
+        assert kern.memo_entries == 0
+        reference, _ = enumerate_states(model, kernel="interpreted")
+        assert graph.to_json() == reference.to_json()
+
+    def test_choice_tables_are_few(self):
+        # The whole point: table count is bounded by guard signatures
+        # (<= 2^guarded), not by state count.
+        model = small_model()
+        enumerate_states(model, kernel="compiled")
+        kern = compile_model(model)
+        guarded = sum(1 for c in model.choices if c.guard is not None)
+        assert 0 < kern.tables.num_tables <= 2 ** guarded
+
+
+# ---------------------------------------------------------------------------
+# Soundness: what the fast path may and may not skip
+# ---------------------------------------------------------------------------
+
+
+def _model_with_bug(next_state):
+    return SyncModel(
+        "buggy",
+        state_vars=[StateVar("q", BoolType(), False),
+                    StateVar("n", RangeType(0, 3), 0)],
+        choices=[ChoicePoint("en", BoolType())],
+        next_state=next_state,
+    )
+
+
+class TestReducedValidationSoundness:
+    def test_out_of_domain_raises_model_error(self):
+        model = _model_with_bug(lambda s, c: {"q": s["q"], "n": 99})
+        with pytest.raises(ModelError, match="out-of-domain"):
+            enumerate_states(model, kernel="compiled")
+
+    def test_missing_variable_raises_model_error(self):
+        model = _model_with_bug(lambda s, c: {"q": s["q"]})
+        with pytest.raises(ModelError, match="did not assign"):
+            enumerate_states(model, kernel="compiled")
+
+    def test_first_sight_catches_systematic_extra_variable(self):
+        # An undeclared extra var on *every* transition is caught by the
+        # validate-on-first-sight expansion of the reset state.
+        model = _model_with_bug(
+            lambda s, c: {"q": s["q"], "n": s["n"], "oops": 1}
+        )
+        with pytest.raises(ModelError, match="undeclared"):
+            enumerate_states(model, kernel="compiled")
+
+    def test_strict_mode_catches_conditional_extra_variable(self):
+        # The one genuinely relaxed class: an extra var emitted only from
+        # later states.  The fast path may miss it between samples; a
+        # strict kernel must always raise, the interpreted path already
+        # does.
+        def next_state(s, c):
+            nxt = {"q": not s["q"], "n": (s["n"] + 1) % 4}
+            if s["n"] == 2:
+                nxt["oops"] = 1
+            return nxt
+
+        with pytest.raises(ModelError, match="undeclared"):
+            enumerate_states(_model_with_bug(next_state), kernel="interpreted")
+        strict = CompiledKernel(_model_with_bug(next_state), strict=True)
+        with pytest.raises(ModelError, match="undeclared"):
+            enumerate_states(strict.model, kernel=strict)
+
+    def test_sampled_validation_catches_conditional_extra_variable(self):
+        def next_state(s, c):
+            nxt = {"q": not s["q"], "n": (s["n"] + 1) % 4}
+            if s["n"] == 2:
+                nxt["oops"] = 1
+            return nxt
+
+        # sample_every=1 re-validates every transition: equivalent to
+        # strict for detection, exercising the sampling branch itself.
+        kern = CompiledKernel(_model_with_bug(next_state), sample_every=1)
+        with pytest.raises(ModelError, match="undeclared"):
+            enumerate_states(kern.model, kernel=kern)
+
+    def test_strict_graphs_still_identical(self):
+        model = random_model(42)
+        strict = CompiledKernel(model, strict=True)
+        graph, _ = enumerate_states(model, kernel=strict)
+        reference, _ = enumerate_states(model, kernel="interpreted")
+        assert graph.to_json() == reference.to_json()
+
+
+# ---------------------------------------------------------------------------
+# Observability: identical enum.* totals, new enum.kernel.* counters
+# ---------------------------------------------------------------------------
+
+
+def _counter_totals(observer, prefix="enum."):
+    metrics = observer.metrics
+    return {
+        name: metrics.total(name)
+        for name in metrics.counter_names()
+        if name.startswith(prefix) and not name.startswith("enum.kernel.")
+        and not name.startswith("enum.shard.")
+    }
+
+
+class TestKernelMetrics:
+    def test_enum_totals_identical_across_kernels(self):
+        interpreted_obs, compiled_obs = Observer(), Observer()
+        enumerate_states(small_model(), obs=interpreted_obs,
+                         kernel="interpreted")
+        enumerate_states(small_model(), obs=compiled_obs, kernel="compiled")
+        totals = _counter_totals(interpreted_obs)
+        assert totals
+        assert _counter_totals(compiled_obs) == totals
+
+    def test_kernel_counters_emitted(self):
+        obs = Observer()
+        model = small_model()
+        graph, _ = enumerate_states(model, obs=obs, kernel="compiled")
+        metrics = obs.metrics
+        assert metrics.total("enum.kernel.expansions") == graph.num_states
+        stats = metrics.histogram_stats("enum.kernel.compile_seconds")
+        assert stats["count"] == 1
+
+    def test_kernel_counters_are_per_run_deltas(self):
+        # Kernels are cached across runs; each run must report only its
+        # own delta, or aggregated reports double-count.
+        model = small_model()
+        enumerate_states(model, kernel="compiled")  # warm the memo
+        obs = Observer()
+        graph, _ = enumerate_states(model, obs=obs, kernel="compiled")
+        assert obs.metrics.total("enum.kernel.memo_hits") == graph.num_states
+        assert obs.metrics.total("enum.kernel.expansions") == 0
+
+    def test_interpreted_emits_no_kernel_counters(self):
+        obs = Observer()
+        enumerate_states(small_model(), obs=obs, kernel="interpreted")
+        kernel_counters = [
+            name for name in obs.metrics.counter_names()
+            if name.startswith("enum.kernel.")
+        ]
+        assert kernel_counters == []
+
+    def test_parallel_workers_report_kernel_counters(self):
+        obs = Observer()
+        graph, _ = enumerate_states_parallel(
+            small_model(), jobs=4, obs=obs, kernel="compiled"
+        )
+        assert obs.metrics.total("enum.kernel.expansions") == graph.num_states

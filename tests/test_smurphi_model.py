@@ -162,6 +162,31 @@ class TestChoices:
         )
         assert list(m.enumerate_choices(m.reset_state())) == [{}]
 
+    def test_each_guard_evaluated_exactly_once_per_state(self):
+        calls = {"g1": 0, "g2": 0}
+
+        def guard1(state):
+            calls["g1"] += 1
+            return state["busy"]
+
+        def guard2(state):
+            calls["g2"] += 1
+            return not state["busy"]
+
+        m = SyncModel(
+            "m",
+            state_vars=[StateVar("busy", BoolType(), False)],
+            choices=[
+                ChoicePoint("a", BoolType(), guard=guard1),
+                ChoicePoint("b", RangeType(0, 2), guard=guard2),
+                ChoicePoint("c", BoolType()),
+            ],
+            next_state=lambda s, c: dict(s),
+        )
+        combos = list(m.enumerate_choices(m.reset_state()))
+        assert len(combos) == 3 * 2  # b active (3 values) x c (2 values)
+        assert calls == {"g1": 1, "g2": 1}
+
     def test_custom_inactive_value(self):
         cp = ChoicePoint(
             "lat", RangeType(1, 4), guard=lambda s: False, inactive_value=2

@@ -41,6 +41,35 @@ def counter_graph(limit=4):
     return graph
 
 
+class TestOutAdjacency:
+    def test_matches_out_edge_indices(self):
+        graph = counter_graph()
+        adjacency = graph.out_adjacency()
+        assert len(adjacency) == graph.num_states
+        for state in range(graph.num_states):
+            assert adjacency[state] == tuple(
+                (i, graph.edge(i).dst) for i in graph.out_edge_indices(state)
+            )
+
+    def test_cached_until_graph_mutates(self):
+        graph = ring(4)
+        first = graph.out_adjacency()
+        assert graph.out_adjacency() is first
+        graph.add_edge(0, 2, (99,))
+        rebuilt = graph.out_adjacency()
+        assert rebuilt is not first
+        assert (4, 2) in rebuilt[0]
+
+    def test_rebuilt_after_new_state(self):
+        graph = ring(3)
+        first = graph.out_adjacency()
+        graph.intern_state(100)
+        second = graph.out_adjacency()
+        assert second is not first
+        assert len(second) == 4
+        assert second[3] == ()
+
+
 class TestTourGenerator:
     def test_ring_single_tour(self):
         graph = ring(5)
