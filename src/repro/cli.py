@@ -79,7 +79,7 @@ from repro.resilience import (
     CheckpointStore,
     atomic_write_text,
 )
-from repro.tour import TourGenerator, arc_coverage
+from repro.tour import IndexedTourGenerator, TourGenerator, arc_coverage
 
 #: Documented exit codes (see module docstring).  When several apply the
 #: most diagnostic wins: invariant violation > budget truncation > missed
@@ -320,7 +320,10 @@ def cmd_tours(args) -> int:
     else:
         model = PPControlModel(_model_config(args)).build()
         graph, _ = enumerate_states(model)
-    tours = TourGenerator(
+    generator_cls = (
+        TourGenerator if args.generator == "reference" else IndexedTourGenerator
+    )
+    tours = generator_cls(
         graph, max_instructions_per_trace=args.limit or None
     ).generate()
     stats = tours.stats
@@ -586,6 +589,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", help="reuse a JSON state graph")
     p.add_argument("--limit", type=int, default=400,
                    help="instructions per trace (0 = unlimited)")
+    p.add_argument("--generator", choices=("indexed", "reference"),
+                   default="indexed",
+                   help="tour generator: the CSR+distance-index one "
+                        "(default) or the reference Fig. 3.3 loop; both "
+                        "produce bit-identical tours")
     p.set_defaults(func=cmd_tours)
 
     p = sub.add_parser("validate", help="run the full validation pipeline")

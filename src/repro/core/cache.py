@@ -24,6 +24,13 @@ input that determines the artifacts:
 Changing any of these changes the key, so stale entries are never *read*
 -- they are simply orphaned (and can be removed with :meth:`ArtifactCache.prune`).
 
+Deliberately **absent** from the key: ``jobs`` (enumeration, vector
+generation, and comparison workers), comparison scheduling/``chunksize``,
+the transition kernel, the tour generator choice, and transition-event
+memoization.  All of these are output-invariant -- every configuration
+produces bit-identical artifacts (golden-tested) -- so a cached build is
+shared across all of them.
+
 Storage format
 --------------
 ``<cache_dir>/<key>.pkl`` holds the pickled artifacts; ``<key>.json`` is a

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -18,8 +19,13 @@ from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.pp.rtl.core import CoreConfig
 from repro.resilience import Budget, CheckpointConfig, RetryPolicy
-from repro.tour import TourGenerator, TourSet
-from repro.vectors import TraceSet, VectorGenerator, pp_instruction_cost
+from repro.tour import IndexedTourGenerator, TourSet
+from repro.vectors import (
+    TraceSet,
+    TransitionEventMemo,
+    VectorGenerator,
+    pp_instruction_cost,
+)
 
 logger = logging.getLogger("repro.pipeline")
 
@@ -251,17 +257,21 @@ class ValidationPipeline:
                     "vectors over the partial graph; result will not be cached",
                     stats.budget_outcome,
                 )
+            # One transition-event memo spans both back-half phases: the
+            # tour cost function touches every arc, so vector generation
+            # finds it fully warm and replays no transition twice.
+            memo = TransitionEventMemo(self.control, graph)
             with obs.span("phase.tours"):
-                cost = pp_instruction_cost(self.control, graph)
-                tours = TourGenerator(
+                cost = pp_instruction_cost(self.control, graph, memo=memo)
+                tours = IndexedTourGenerator(
                     graph,
                     instruction_cost=cost,
                     max_instructions_per_trace=self.max_instructions_per_trace,
                 ).generate(obs=obs)
-            with obs.span("phase.vectors"):
+            with obs.span("phase.vectors", jobs=jobs or 0):
                 traces = VectorGenerator(
-                    self.control, graph, seed=self.seed
-                ).generate(list(tours), obs=obs)
+                    self.control, graph, seed=self.seed, memo=memo
+                ).generate(list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1))
             self._artifacts = PipelineArtifacts(
                 graph=graph, enumeration=stats, tours=tours, traces=traces
             )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -137,6 +138,13 @@ def _run_trace_job(trace: TestVectorTrace) -> ComparisonResult:
     return run_vector_trace(trace, config=_TRACE_WORKER_CONFIG)
 
 
+def _run_indexed_trace_job(
+    payload: Tuple[int, TestVectorTrace],
+) -> Tuple[int, ComparisonResult]:
+    index, trace = payload
+    return index, run_vector_trace(trace, config=_TRACE_WORKER_CONFIG)
+
+
 def _record_result(obs: Observer, index: int, result: ComparisonResult) -> None:
     """Per-trace comparison metrics (coordinator side, both modes)."""
     obs.inc("compare.traces_run")
@@ -156,6 +164,7 @@ def run_vector_traces(
     jobs: Optional[int] = 1,
     stop_on_divergence: bool = True,
     obs: Optional[Observer] = None,
+    chunksize: Optional[int] = None,
 ) -> Tuple[List[ComparisonResult], List[int]]:
     """Run many traces; return ``(results, diverging_indices)`` in trace order.
 
@@ -165,11 +174,21 @@ def run_vector_traces(
     trace -- exactly where the sequential loop would have stopped -- even
     if workers raced ahead on later traces.  ``jobs=None`` uses every CPU.
 
+    Scheduling is longest-trace-first over ``imap_unordered`` (the
+    coordinator restores trace order), so one long trace dispatched last
+    can no longer straggle the whole pool.  ``chunksize`` controls how
+    many traces each dispatch hands a worker; the default of
+    ``max(1, n // (workers * 4))`` gives every worker ~4 chunks, which
+    amortizes dispatch/pickling without re-creating the imbalance that
+    one giant chunk of the longest traces would.
+
     ``obs`` receives per-trace instruction/cycle histograms, running
-    ``compare.*`` counters, and a ``compare.divergence`` event (with the
-    divergence site) for every diverging trace.
+    ``compare.*`` counters, ``compare.workers``/``compare.chunksize``
+    gauges, a ``compare.seconds`` sample, and a ``compare.divergence``
+    event (with the divergence site) for every diverging trace.
     """
     obs = resolve(obs)
+    started = time.perf_counter()
     config = config or CoreConfig(mem_latency=0)
     traces = list(traces)
     if jobs is None:
@@ -182,6 +201,7 @@ def run_vector_traces(
     results: List[ComparisonResult] = []
     diverging: List[int] = []
     if not parallel:
+        obs.gauge("compare.workers", 1)
         for index, trace in enumerate(traces):
             result = run_vector_trace(trace, config=config)
             results.append(result)
@@ -190,23 +210,51 @@ def run_vector_traces(
                 diverging.append(index)
                 if stop_on_divergence:
                     break
+        obs.observe("compare.seconds", time.perf_counter() - started)
         return results, diverging
 
+    workers = min(jobs, len(traces))
+    if chunksize is None:
+        chunksize = max(1, len(traces) // (workers * 4))
+    obs.gauge("compare.workers", workers)
+    obs.gauge("compare.chunksize", chunksize)
+    # Longest first (ties by original index, so scheduling is stable):
+    # workers start on the expensive traces while the cheap ones fill in
+    # the tail of the schedule.
+    order = sorted(
+        range(len(traces)), key=lambda i: (-traces[i].edges_traversed, i)
+    )
     ctx = multiprocessing.get_context("fork")
     pool = ctx.Pool(
-        processes=min(jobs, len(traces)),
+        processes=workers,
         initializer=_init_trace_worker,
         initargs=(config,),
     )
+    # Completions arrive out of order; ``pending`` holds them until every
+    # earlier trace has been emitted, so results/metrics/stop decisions
+    # happen in exactly the sequential order.
+    pending = {}
+    next_index = 0
+    stopped = False
     try:
-        for index, result in enumerate(pool.imap(_run_trace_job, traces)):
-            results.append(result)
-            _record_result(obs, index, result)
-            if result.diverged:
-                diverging.append(index)
-                if stop_on_divergence:
-                    pool.terminate()
-                    break
+        for index, result in pool.imap_unordered(
+            _run_indexed_trace_job,
+            [(i, traces[i]) for i in order],
+            chunksize=chunksize,
+        ):
+            pending[index] = result
+            while not stopped and next_index in pending:
+                emitted = pending.pop(next_index)
+                results.append(emitted)
+                _record_result(obs, next_index, emitted)
+                if emitted.diverged:
+                    diverging.append(next_index)
+                    if stop_on_divergence:
+                        stopped = True  # in-flight later traces are dropped
+                next_index += 1
+            if stopped:
+                pool.terminate()
+                break
         else:
             pool.close()
         pool.join()
@@ -214,4 +262,5 @@ def run_vector_traces(
         pool.terminate()
         pool.join()
         raise
+    obs.observe("compare.seconds", time.perf_counter() - started)
     return results, diverging

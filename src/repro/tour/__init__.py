@@ -9,6 +9,7 @@ is included as the optimal-length baseline for the ablation benchmarks.
 """
 
 from repro.tour.fig33 import TourGenerator, Tour, TourSet, TourStats
+from repro.tour.indexed import IndexedTourGenerator
 from repro.tour.coverage import (
     arc_coverage,
     coverage_curve,
@@ -36,6 +37,7 @@ __all__ = [
     "uio_sequences",
     "ConformanceSuite",
     "ConformanceVerdict",
+    "IndexedTourGenerator",
     "TourGenerator",
     "Tour",
     "TourSet",

@@ -154,13 +154,15 @@ class TourGenerator:
         # are all traversed, so the DFS scan restarts where it left off.
         cursors = [0] * graph.num_states
         untraversed_out = [len(out) for out in adjacency]
-        remaining = graph.num_edges
+        # Maintained decrementally by _take (an O(V) sum per outer
+        # iteration is measurable on large graphs with many tours).
+        self._remaining = graph.num_edges
 
         tours: List[Tour] = []
         limit_restarts = 0
         explore_splices = 0
         cumulative_instructions = 0
-        while remaining:
+        while self._remaining:
             tour = Tour()
             state = StateGraph.RESET
             limit_hit = False
@@ -179,7 +181,7 @@ class TourGenerator:
                 for index in path:
                     self._take(index, tour, traversed, untraversed_out)
                 state = graph.edge(path[-1]).dst if path else state
-            remaining = sum(untraversed_out)
+            remaining = self._remaining
             if tour.edge_indices:
                 tours.append(tour)
                 limit_restarts += limit_hit
@@ -302,3 +304,4 @@ class TourGenerator:
         if not traversed[index]:
             traversed[index] = True
             untraversed_out[edge.src] -= 1
+            self._remaining -= 1

@@ -14,6 +14,7 @@ from repro.vectors.generator import (
     VectorGenerator,
     TestVectorTrace,
     TraceSet,
+    TransitionEventMemo,
     pp_instruction_cost,
 )
 from repro.vectors.force import force_script
@@ -22,6 +23,7 @@ __all__ = [
     "VectorGenerator",
     "TestVectorTrace",
     "TraceSet",
+    "TransitionEventMemo",
     "pp_instruction_cost",
     "force_script",
 ]

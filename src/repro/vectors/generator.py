@@ -19,7 +19,9 @@ pool of distinct cache lines.
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -94,6 +96,98 @@ class TraceSet:
         return len(self.traces)
 
 
+class TransitionEventMemo:
+    """Per-model memo of everything vector generation needs per arc.
+
+    Both :func:`pp_instruction_cost` (the tour phase's cost function) and
+    :class:`VectorGenerator` replay the model's transition for the same
+    ``(src_state, condition)`` pairs; before this memo existed each side
+    unpacked the state and ran the step function independently -- twice
+    per arc inside the generator alone (``transition_events`` + ``step``
+    both call ``_step``).  One :meth:`lookup` now runs ``_step`` exactly
+    once per unique pair and caches the complete outcome tuple
+    ``(events, src_mem, st_pend_after, instructions)``:
+
+    - ``events``: the interface-event list, in emission order;
+    - ``src_mem``: the source state's ``mem`` stage (split-store address
+      tracking needs it);
+    - ``st_pend_after``: whether a store is still pending *after* the
+      transition (clears the pending address exactly when the model does);
+    - ``instructions``: instructions contributed by the arc's fetch, the
+      way Table 3.3 counts them;
+    - ``advanced``: whether the pipe advanced (stage-index bookkeeping).
+
+    Keys are ``(state_id, condition)`` so the memo is valid for exactly
+    one enumerated graph; share one instance per pipeline build.  Arcs
+    with the same ``(src, condition)`` share one entry; the additional
+    per-edge-index view (:meth:`lookup_edge`) just skips re-deriving the
+    key on the generator's hot path.
+    """
+
+    def __init__(self, model: PPControlModel, graph: StateGraph):
+        self.model = model
+        self.graph = graph
+        self.codec = StateCodec(model.state_vars)
+        self._entries: Dict[Tuple[int, Tuple], Tuple] = {}
+        self._by_edge: List[Optional[Tuple]] = [None] * graph.num_edges
+        self.computed = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, src: int, condition: Tuple) -> Tuple:
+        """Return ``(events, src_mem, st_pend_after, instructions, advanced)``."""
+        key = (src, condition)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.computed += 1
+        state = self.codec.unpack(self.graph.state_key(src))
+        choice = dict(zip(self.model.choice_names, condition))
+        next_state, events = self.model._step(state, choice)
+        instructions = 0
+        advanced = False
+        for event in events:
+            kind = event[0]
+            if kind == "fetch" and event[2]:
+                instructions += 2 if event[3] else 1
+            elif kind == "pipe_advance":
+                advanced = True
+        entry = (
+            events, state["mem"], bool(next_state["st_pend"]),
+            instructions, advanced,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def lookup_edge(self, edge_index: int) -> Tuple:
+        """:meth:`lookup` keyed by edge index (same entries, no key
+        re-derivation -- distinct arcs may share one entry)."""
+        entry = self._by_edge[edge_index]
+        if entry is not None:
+            self.hits += 1
+            return entry
+        edge = self.graph.edge(edge_index)
+        entry = self.lookup(edge.src, edge.condition)
+        self._by_edge[edge_index] = entry
+        return entry
+
+
+#: Fork-inherited generator for parallel workers.  The PP model holds
+#: guard closures that cannot be pickled, so workers must inherit the
+#: whole generator (model, graph, memo) through fork copy-on-write.
+_PARALLEL_GENERATOR: Optional["VectorGenerator"] = None
+
+
+def _vector_trace_job(payload: Tuple[int, Tour]) -> Tuple[int, "TestVectorTrace"]:
+    index, tour = payload
+    generator = _PARALLEL_GENERATOR
+    rng = random.Random(f"{generator.seed}:{index}")
+    return index, generator._trace_from_tour(tour, rng)
+
+
 class VectorGenerator:
     """Transition-condition mapping for the PP (Fig. 3.1 oval 3).
 
@@ -106,6 +200,14 @@ class VectorGenerator:
         The enumerated state graph.
     seed:
         Seed for the biased-random fill of control-irrelevant fields.
+    memo:
+        A shared :class:`TransitionEventMemo` (e.g. the one the tour
+        phase's cost function already filled).  ``None`` creates a
+        private one.
+    memoize:
+        ``False`` disables memoization entirely and replays transitions
+        exactly the way the pre-memo generator did (``transition_events``
+        then ``step`` per arc) -- kept as the benchmark baseline.
     """
 
     def __init__(
@@ -114,30 +216,79 @@ class VectorGenerator:
         graph: StateGraph,
         seed: int = 0,
         address_pool: Sequence[int] = DEFAULT_ADDRESS_POOL,
+        memo: Optional[TransitionEventMemo] = None,
+        memoize: bool = True,
     ):
         self.model = model
         self.graph = graph
         self.codec = StateCodec(model.state_vars)
         self.seed = seed
         self.address_pool = list(address_pool)
+        if memo is not None:
+            self.memo: Optional[TransitionEventMemo] = memo
+        elif memoize:
+            self.memo = TransitionEventMemo(model, graph)
+        else:
+            self.memo = None
 
     # -- public API -------------------------------------------------------------
 
     def generate(
-        self, tours: Sequence[Tour], obs: Optional[Observer] = None
+        self,
+        tours: Sequence[Tour],
+        obs: Optional[Observer] = None,
+        jobs: int = 1,
     ) -> TraceSet:
-        """Convert every tour component into a test-vector trace."""
+        """Convert every tour component into a test-vector trace.
+
+        ``jobs > 1`` fans tours across fork workers.  Each tour owns an
+        independent ``random.Random(f"{seed}:{index}")`` keyed by its
+        *original* index, so the produced traces are bit-identical at any
+        worker count (golden-tested); only wall clock changes.  Falls
+        back to sequential where fork is unavailable.
+        """
         obs = resolve(obs)
-        traces = [
-            self._trace_from_tour(tour, random.Random(f"{self.seed}:{i}"))
-            for i, tour in enumerate(tours)
-        ]
+        started = time.perf_counter()
+        tours = list(tours)
+        workers = min(jobs, len(tours))
+        if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
+            workers = 1
+        # Gauge before generating: sequential and parallel runs report the
+        # same value (worker-side memo fills are invisible to the parent).
+        obs.gauge("vectors.memo_entries", len(self.memo) if self.memo is not None else 0)
+        obs.gauge("vectors.workers", max(workers, 1))
+        if workers > 1:
+            traces = self._generate_parallel(tours, workers)
+        else:
+            traces = [
+                self._trace_from_tour(tour, random.Random(f"{self.seed}:{i}"))
+                for i, tour in enumerate(tours)
+            ]
         trace_set = TraceSet(traces=traces)
         obs.inc("vectors.traces", trace_set.num_traces)
         obs.inc("vectors.instructions", trace_set.total_instructions)
         for trace in traces:
             obs.observe("vectors.trace_instructions", trace.num_instructions)
+        obs.observe("vectors.seconds", time.perf_counter() - started)
         return trace_set
+
+    def _generate_parallel(
+        self, tours: List[Tour], workers: int
+    ) -> List[TestVectorTrace]:
+        global _PARALLEL_GENERATOR
+        ctx = multiprocessing.get_context("fork")
+        chunksize = max(1, len(tours) // (workers * 4))
+        results: List[Optional[TestVectorTrace]] = [None] * len(tours)
+        _PARALLEL_GENERATOR = self
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                for index, trace in pool.imap_unordered(
+                    _vector_trace_job, list(enumerate(tours)), chunksize=chunksize
+                ):
+                    results[index] = trace
+        finally:
+            _PARALLEL_GENERATOR = None
+        return results
 
     def trace_from_edges(
         self, edge_indices: Sequence[int], rng: Optional[random.Random] = None
@@ -148,6 +299,22 @@ class VectorGenerator:
         )
 
     # -- the mapping --------------------------------------------------------------
+
+    def _transition(self, edge_index: int) -> Tuple[List[Tuple], str, bool, bool]:
+        """``(events, src_mem, st_pend_after, advanced)`` for one arc --
+        from the memo when enabled, otherwise replayed the pre-memo way."""
+        if self.memo is not None:
+            events, src_mem, st_pend_after, _, advanced = self.memo.lookup_edge(
+                edge_index
+            )
+            return events, src_mem, st_pend_after, advanced
+        edge = self.graph.edge(edge_index)
+        state = self.codec.unpack(self.graph.state_key(edge.src))
+        choice = dict(zip(self.model.choice_names, edge.condition))
+        events = self.model.transition_events(state, choice)
+        next_state = self.model.step(state, choice)
+        advanced = any(e[0] == "pipe_advance" for e in events)
+        return events, state["mem"], bool(next_state["st_pend"]), advanced
 
     def _trace_from_tour(self, tour: Tour, rng: random.Random) -> TestVectorTrace:
         trace = TestVectorTrace(edges_traversed=len(tour.edge_indices))
@@ -160,11 +327,7 @@ class VectorGenerator:
         pending_store_addr: Optional[int] = None
 
         for edge_index in tour.edge_indices:
-            edge = self.graph.edge(edge_index)
-            state = self.codec.unpack(self.graph.state_key(edge.src))
-            choice = dict(zip(self.model.choice_names, edge.condition))
-            events = self.model.transition_events(state, choice)
-            advanced = any(e[0] == "pipe_advance" for e in events)
+            events, src_mem, st_pend_after, advanced = self._transition(edge_index)
             fetched_index: Optional[int] = None
 
             for event in events:
@@ -179,11 +342,11 @@ class VectorGenerator:
                             self._emit_instruction(trace, "ALU", rng)
                 elif kind == "d_probe":
                     trace.dcache_hits.append(bool(event[1]))
-                    if state["mem"] == "SD" and event[1] and mem_index is not None:
+                    if src_mem == "SD" and event[1] and mem_index is not None:
                         pending_store_addr = self._operand_address(trace, mem_index)
                 elif kind == "refill_start":
                     trace.victim_dirty.append(bool(event[1]))
-                    if state["mem"] == "SD" and mem_index is not None:
+                    if src_mem == "SD" and mem_index is not None:
                         # The store posts after its refill completes.
                         pending_store_addr = self._operand_address(trace, mem_index)
                 elif kind == "conflict":
@@ -199,8 +362,7 @@ class VectorGenerator:
 
             # The split store's idle-cycle data write clears the pending
             # address exactly when the model clears st_pend.
-            next_state = self.model.step(state, choice)
-            if not next_state["st_pend"]:
+            if not st_pend_after:
                 pending_store_addr = None
 
             if advanced:
@@ -263,29 +425,24 @@ class VectorGenerator:
 
 
 def pp_instruction_cost(
-    model: PPControlModel, graph: StateGraph
+    model: PPControlModel,
+    graph: StateGraph,
+    memo: Optional[TransitionEventMemo] = None,
 ) -> Callable[[Edge], int]:
     """Instruction cost of traversing one arc: how many instructions the
     fetch on that transition contributes to the trace file (0 when the
     cycle fetches nothing -- stalls, refills, bubbles).
 
     Used as the :class:`~repro.tour.fig33.TourGenerator` cost function so
-    tour statistics count instructions the way Table 3.3 does.
+    tour statistics count instructions the way Table 3.3 does.  Pass the
+    pipeline's shared :class:`TransitionEventMemo` so the transitions this
+    replays are never recomputed by vector generation (the tour phase
+    touches every arc, so afterwards the memo is fully warm).
     """
-    codec = StateCodec(model.state_vars)
-    cache: Dict[Tuple[int, Tuple], int] = {}
+    if memo is None:
+        memo = TransitionEventMemo(model, graph)
 
     def cost(edge: Edge) -> int:
-        key = (edge.src, edge.condition)
-        if key in cache:
-            return cache[key]
-        state = codec.unpack(graph.state_key(edge.src))
-        choice = dict(zip(model.choice_names, edge.condition))
-        instructions = 0
-        for event in model.transition_events(state, choice):
-            if event[0] == "fetch" and event[2]:
-                instructions += 2 if event[3] else 1
-        cache[key] = instructions
-        return instructions
+        return memo.lookup(edge.src, edge.condition)[3]
 
     return cost

@@ -1,0 +1,260 @@
+"""Tests for the accelerated pipeline back half.
+
+Covers the three tentpole pieces end to end at small (fill_words=1)
+scale:
+
+- the shared :class:`TransitionEventMemo` (transitions computed exactly
+  once per unique ``(src, condition)`` pair across the tour cost function
+  AND vector generation);
+- parallel vector generation (byte-identical TraceSets at jobs=1 vs
+  jobs=4, with and without memoization);
+- load-balanced comparison scheduling (results, divergence cut point and
+  metrics identical to the sequential contract at any jobs/chunksize).
+"""
+
+import pickle
+
+import pytest
+
+from repro.bugs import injected_config
+from repro.enumeration import enumerate_states
+from repro.harness.compare import run_vector_traces
+from repro.obs import MetricsRegistry, Observer
+from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.tour import IndexedTourGenerator
+from repro.vectors import (
+    TransitionEventMemo,
+    VectorGenerator,
+    pp_instruction_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def control():
+    return PPControlModel(PPModelConfig(fill_words=1))
+
+
+@pytest.fixture(scope="module")
+def graph(control):
+    graph, _ = enumerate_states(control.build())
+    return graph
+
+
+@pytest.fixture(scope="module")
+def tours(control, graph):
+    memo = TransitionEventMemo(control, graph)
+    cost = pp_instruction_cost(control, graph, memo=memo)
+    tour_set = IndexedTourGenerator(
+        graph, instruction_cost=cost, max_instructions_per_trace=200
+    ).generate()
+    return list(tour_set)
+
+
+@pytest.fixture(scope="module")
+def baseline_traces(control, graph, tours):
+    """The pre-memo sequential path, used as the identity reference."""
+    return VectorGenerator(
+        control, graph, seed=11, memoize=False
+    ).generate(tours)
+
+
+def dumps(trace_set):
+    return pickle.dumps(trace_set.traces)
+
+
+class TestTransitionEventMemo:
+    def test_events_computed_once_per_unique_pair(self, control, graph, tours):
+        memo = TransitionEventMemo(control, graph)
+        calls = []
+        original_step = control._step
+
+        def counting_step(state, choice):
+            calls.append(1)
+            return original_step(state, choice)
+
+        control._step = counting_step
+        try:
+            cost = pp_instruction_cost(control, graph, memo=memo)
+            for edge in graph.edges():
+                cost(edge)
+            VectorGenerator(control, graph, seed=11, memo=memo).generate(tours)
+        finally:
+            control._step = original_step
+
+        unique_pairs = {(e.src, e.condition) for e in graph.edges()}
+        assert len(calls) == len(unique_pairs)
+        assert memo.computed == len(unique_pairs)
+        assert len(memo) == len(unique_pairs)
+        # Every arc the tours traverse beyond the first visit was a hit.
+        assert memo.hits > 0
+
+    def test_memo_agrees_with_direct_replay(self, control, graph):
+        memo = TransitionEventMemo(control, graph)
+        codec = memo.codec
+        for edge in list(graph.edges())[:50]:
+            events, src_mem, st_pend_after, instructions, advanced = memo.lookup(
+                edge.src, edge.condition
+            )
+            state = codec.unpack(graph.state_key(edge.src))
+            choice = dict(zip(control.choice_names, edge.condition))
+            assert events == control.transition_events(state, choice)
+            assert src_mem == state["mem"]
+            assert st_pend_after == bool(control.step(state, choice)["st_pend"])
+            assert advanced == any(e[0] == "pipe_advance" for e in events)
+
+    def test_lookup_edge_shares_entries(self, control, graph):
+        memo = TransitionEventMemo(control, graph)
+        entry = memo.lookup_edge(0)
+        edge = graph.edge(0)
+        assert memo.lookup(edge.src, edge.condition) is entry
+        assert memo.lookup_edge(0) is entry
+
+    def test_cost_function_matches_pre_memo_semantics(self, control, graph):
+        cost = pp_instruction_cost(control, graph)
+        for edge in list(graph.edges())[:50]:
+            state = TransitionEventMemo(control, graph).codec.unpack(
+                graph.state_key(edge.src)
+            )
+            choice = dict(zip(control.choice_names, edge.condition))
+            expected = 0
+            for event in control.transition_events(state, choice):
+                if event[0] == "fetch" and event[2]:
+                    expected += 2 if event[3] else 1
+            assert cost(edge) == expected
+
+
+class TestVectorIdentity:
+    def test_memoized_matches_baseline(self, control, graph, tours, baseline_traces):
+        memoized = VectorGenerator(control, graph, seed=11).generate(tours)
+        assert dumps(memoized) == dumps(baseline_traces)
+
+    def test_shared_warm_memo_matches_baseline(
+        self, control, graph, tours, baseline_traces
+    ):
+        memo = TransitionEventMemo(control, graph)
+        cost = pp_instruction_cost(control, graph, memo=memo)
+        for edge in graph.edges():
+            cost(edge)  # warm exactly the way the tour phase does
+        warm = VectorGenerator(control, graph, seed=11, memo=memo).generate(tours)
+        assert dumps(warm) == dumps(baseline_traces)
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_matches_baseline(
+        self, control, graph, tours, baseline_traces, jobs
+    ):
+        parallel = VectorGenerator(control, graph, seed=11).generate(
+            tours, jobs=jobs
+        )
+        assert dumps(parallel) == dumps(baseline_traces)
+
+    def test_jobs_exceeding_tours_ok(self, control, graph, tours, baseline_traces):
+        parallel = VectorGenerator(control, graph, seed=11).generate(
+            tours, jobs=len(tours) + 8
+        )
+        assert dumps(parallel) == dumps(baseline_traces)
+
+    def test_different_seed_differs(self, control, graph, tours, baseline_traces):
+        other = VectorGenerator(control, graph, seed=12).generate(tours)
+        assert dumps(other) != dumps(baseline_traces)
+
+    def test_worker_gauges_identical_across_jobs(self, control, graph, tours):
+        def gauges(jobs):
+            metrics = MetricsRegistry()
+            VectorGenerator(control, graph, seed=11).generate(
+                tours, obs=Observer(metrics=metrics), jobs=jobs
+            )
+            return metrics
+
+        seq = gauges(1)
+        par = gauges(4)
+        # memo_entries is sampled before generation, so sequential and
+        # parallel runs agree (worker-side fills are invisible).
+        assert (seq.gauge_value("vectors.memo_entries")
+                == par.gauge_value("vectors.memo_entries") == 0)
+        assert seq.gauge_value("vectors.workers") == 1
+        assert par.gauge_value("vectors.workers") == 4
+        assert (seq.counter_value("vectors.traces")
+                == par.counter_value("vectors.traces") == len(tours))
+
+
+class TestComparisonScheduling:
+    @pytest.fixture(scope="class")
+    def trace_list(self, control, graph, tours):
+        return list(VectorGenerator(control, graph, seed=11).generate(tours))
+
+    def run(self, traces, **kwargs):
+        return run_vector_traces(traces, **kwargs)
+
+    def results_dump(self, results):
+        return [
+            (r.diverged, r.differences, r.write_mismatch, r.cycles,
+             r.instructions, r.deadlocked)
+            for r in results
+        ]
+
+    def test_clean_run_identical_across_jobs(self, trace_list):
+        seq_results, seq_div = self.run(trace_list, jobs=1)
+        par_results, par_div = self.run(trace_list, jobs=4)
+        assert self.results_dump(par_results) == self.results_dump(seq_results)
+        assert par_div == seq_div == []
+        assert len(seq_results) == len(trace_list)
+
+    def test_divergence_cut_point_identical(self, trace_list):
+        config = injected_config(2)
+        seq_results, seq_div = self.run(trace_list, jobs=1, config=config)
+        par_results, par_div = self.run(trace_list, jobs=4, config=config)
+        assert seq_div, "bug 2 must diverge for this test to bite"
+        assert par_div == seq_div
+        # The parallel result list must cut at the first diverging trace
+        # even though workers raced ahead on later in-flight traces.
+        assert len(par_results) == len(seq_results) == seq_div[0] + 1
+        assert self.results_dump(par_results) == self.results_dump(seq_results)
+
+    def test_no_leak_past_cut_point(self, trace_list):
+        config = injected_config(2)
+        _, seq_div = self.run(trace_list, jobs=1, config=config)
+        first = seq_div[0]
+        assert first < len(trace_list) - 1, (
+            "divergence must not be on the last trace for the leak test"
+        )
+        # Tiny chunks maximize the number of in-flight later traces when
+        # the coordinator terminates the pool.
+        par_results, par_div = self.run(
+            trace_list, jobs=4, config=config, chunksize=1
+        )
+        assert par_div == [first]
+        assert len(par_results) == first + 1
+
+    def test_continue_past_divergences(self, trace_list):
+        config = injected_config(2)
+        seq_results, seq_div = self.run(
+            trace_list, jobs=1, config=config, stop_on_divergence=False
+        )
+        par_results, par_div = self.run(
+            trace_list, jobs=4, config=config, stop_on_divergence=False
+        )
+        assert len(seq_results) == len(trace_list)
+        assert par_div == seq_div
+        assert self.results_dump(par_results) == self.results_dump(seq_results)
+
+    @pytest.mark.parametrize("chunksize", [1, 2, 100])
+    def test_chunksize_does_not_change_results(self, trace_list, chunksize):
+        seq_results, seq_div = self.run(trace_list, jobs=1)
+        par_results, par_div = self.run(trace_list, jobs=4, chunksize=chunksize)
+        assert self.results_dump(par_results) == self.results_dump(seq_results)
+        assert par_div == seq_div
+
+    def test_metrics_identical_across_jobs(self, trace_list):
+        def metrics_for(jobs):
+            metrics = MetricsRegistry()
+            self.run(trace_list, jobs=jobs, obs=Observer(metrics=metrics))
+            return metrics
+
+        seq = metrics_for(1)
+        par = metrics_for(4)
+        for name in ("compare.traces_run", "compare.instructions_run",
+                     "compare.cycles_run"):
+            assert seq.counter_value(name) == par.counter_value(name), name
+        assert seq.gauge_value("compare.workers") == 1
+        assert par.gauge_value("compare.workers") == 4
+        assert par.gauge_value("compare.chunksize") >= 1

@@ -1,0 +1,206 @@
+"""Tests for the indexed tour generator.
+
+The load-bearing property is *bit-identity*: `IndexedTourGenerator` must
+produce exactly the tours the reference Fig. 3.3 `TourGenerator` does --
+same components, same edge order, same instruction counts -- on any
+reset-reachable graph, with and without instruction limits.  Everything
+else (CSR layout, the distance index, the escalation ladder) is internal
+machinery that only exists to get there faster.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.enumeration import StateGraph, enumerate_states
+from repro.obs import MetricsRegistry, Observer
+from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.tour import IndexedTourGenerator, TourGenerator, arc_coverage
+from repro.vectors import pp_instruction_cost
+
+from tests.test_tour import build_graph, counter_graph, ring
+
+
+def tour_dump(tour_set):
+    """Canonical bit-comparable form of a TourSet."""
+    return [(t.edge_indices, t.instructions) for t in tour_set]
+
+
+def assert_identical(graph, limit=None, instruction_cost=None):
+    kwargs = {"max_instructions_per_trace": limit}
+    if instruction_cost is not None:
+        kwargs["instruction_cost"] = instruction_cost
+    reference = TourGenerator(graph, **kwargs).generate()
+    indexed = IndexedTourGenerator(graph, **kwargs).generate()
+    assert tour_dump(indexed) == tour_dump(reference)
+    return indexed
+
+
+class TestBitIdentity:
+    def test_ring(self):
+        tours = assert_identical(ring(7))
+        assert tours.complete
+        assert len(tours) == 1
+
+    def test_counter(self):
+        assert_identical(counter_graph())
+
+    def test_dead_end_multiple_tours(self):
+        graph = build_graph([(0, 1), (0, 2), (1, 1), (2, 2)], 3)
+        tours = assert_identical(graph)
+        assert len(tours) == 2
+
+    def test_empty_graph(self):
+        tours = assert_identical(build_graph([], 1))
+        assert tours.complete
+        assert len(tours) == 0
+
+    def test_instruction_limits(self):
+        graph = counter_graph(limit=6)
+        for limit in (1, 2, 3, 7, 50):
+            assert_identical(graph, limit=limit)
+
+    def test_custom_cost(self):
+        assert_identical(ring(4), instruction_cost=lambda e: 5)
+
+    def test_pp_graph_golden(self):
+        control = PPControlModel(PPModelConfig(fill_words=1))
+        graph, _ = enumerate_states(control.build())
+        cost = pp_instruction_cost(control, graph)
+        for limit in (None, 200):
+            assert_identical(graph, limit=limit, instruction_cost=cost)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 30), st.data())
+    def test_random_reachable_graphs(self, n, data):
+        edges = []
+        for i in range(1, n):
+            j = data.draw(st.integers(0, i - 1))
+            edges.append((j, i))
+        extra = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=2 * n,
+            )
+        )
+        edges.extend(extra)
+        graph = build_graph(edges, n)
+        tours = assert_identical(graph)
+        assert tours.complete
+        assert arc_coverage(graph, (t.edge_indices for t in tours)).complete
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 20), st.integers(1, 12), st.data())
+    def test_random_graphs_with_limits(self, n, limit, data):
+        edges = []
+        for i in range(1, n):
+            j = data.draw(st.integers(0, i - 1))
+            edges.append((j, i))
+        extra = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=2 * n,
+            )
+        )
+        edges.extend(extra)
+        graph = build_graph(edges, n)
+        tours = assert_identical(graph, limit=limit)
+        assert tours.complete
+
+
+class TestGeneratorBehaviour:
+    """The reference generator's documented behaviours, re-asserted on the
+    indexed one directly (not just via identity)."""
+
+    def test_covers_all_arcs(self):
+        graph = counter_graph()
+        tours = IndexedTourGenerator(graph).generate()
+        assert tours.complete
+        assert arc_coverage(graph, (t.edge_indices for t in tours)).complete
+
+    def test_tours_start_at_reset_and_are_paths(self):
+        graph = counter_graph()
+        tours = IndexedTourGenerator(graph).generate()
+        for tour in tours:
+            assert graph.edge(tour.edge_indices[0]).src == StateGraph.RESET
+            for a, b in zip(tour.edge_indices, tour.edge_indices[1:]):
+                assert graph.edge(a).dst == graph.edge(b).src
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedTourGenerator(counter_graph(), max_instructions_per_trace=0)
+
+    def test_limit_bounds_trace_length(self):
+        graph = counter_graph(limit=6)
+        limited = IndexedTourGenerator(graph, max_instructions_per_trace=3).generate()
+        for tour in limited:
+            assert tour.instructions <= 3 + graph.num_states + 1
+
+
+class TestCSRIndex:
+    def test_csr_matches_out_edge_indices(self):
+        graph = counter_graph()
+        gen = IndexedTourGenerator(graph)
+        for state in range(graph.num_states):
+            row = gen._out_edge[gen._indptr[state]:gen._indptr[state + 1]]
+            assert row == list(graph.out_edge_indices(state))
+            dsts = gen._out_dst[gen._indptr[state]:gen._indptr[state + 1]]
+            assert dsts == [graph.edge(i).dst for i in row]
+
+    def test_reverse_csr_matches_in_edges(self):
+        graph = counter_graph()
+        gen = IndexedTourGenerator(graph)
+        for state in range(graph.num_states):
+            srcs = sorted(gen._rin_src[gen._rindptr[state]:gen._rindptr[state + 1]])
+            expected = sorted(
+                e.src for e in graph.edges() if e.dst == state
+            )
+            assert srcs == expected
+
+    def test_distance_field_is_exact_after_rebuild(self):
+        # Fresh generator: every state has untraversed out-arcs, so the
+        # first rebuild must set dist=0 everywhere a state has out-arcs.
+        graph = build_graph([(0, 1), (1, 2), (2, 0)], 3)
+        gen = IndexedTourGenerator(graph)
+        gen.generate()
+        # After the run every arc is traversed: a rebuild now yields all-INF.
+        gen._rebuild_index()
+        assert all(d >= gen._inf for d in gen._dist)
+
+
+class TestObservability:
+    def metrics_for(self, generator_cls, graph, **kwargs):
+        metrics = MetricsRegistry()
+        generator_cls(graph, **kwargs).generate(obs=Observer(metrics=metrics))
+        return metrics
+
+    def test_reference_counters_match(self):
+        graph = counter_graph(limit=6)
+        ref = self.metrics_for(TourGenerator, graph, max_instructions_per_trace=3)
+        idx = self.metrics_for(
+            IndexedTourGenerator, graph, max_instructions_per_trace=3
+        )
+        for name in (
+            "tour.traces", "tour.arc_traversals", "tour.instructions",
+            "tour.limit_restarts", "tour.explore_splices",
+        ):
+            assert idx.counter_value(name) == ref.counter_value(name), name
+
+    def test_new_counters_present(self):
+        graph = counter_graph()
+        idx = self.metrics_for(IndexedTourGenerator, graph)
+        # Flushed unconditionally so dashboards always see the series.
+        names = idx.counter_names()
+        assert "tour.explore_pruned" in names
+        assert "tour.explore_short_circuits" in names
+        assert "tour.index_rebuilds" in names
+        assert idx.counter_value("tour.index_rebuilds") >= 1
+
+
+class TestUnreachable:
+    def test_unreachable_arc_raises_like_reference(self):
+        # State 2 is not reachable from reset, but has an out-arc.
+        graph = build_graph([(0, 1), (2, 0)], 3)
+        with pytest.raises(RuntimeError, match="reset-reachable"):
+            TourGenerator(graph).generate()
+        with pytest.raises(RuntimeError, match="reset-reachable"):
+            IndexedTourGenerator(graph).generate()
