@@ -24,7 +24,10 @@ Floors are configurable via ``BENCH_BACKHALF_MIN_TOUR_SPEEDUP`` (default
 runners can relax them.  Scale is selected with ``BENCH_BACKHALF_SCALE``:
 ``pp`` (default) is the paper-scale fill_words=2 model, ``small`` is
 fill_words=1 for CI smoke runs.  Machine-readable results are written to
-``BENCH_backhalf.json`` at the repo root.
+``BENCH_backhalf.json`` at the repo root (the legacy
+``repro.bench-backhalf/1`` document), and each timed configuration also
+appends one shared-schema (``repro.bench-result/1``) line to
+``BENCH_history.jsonl`` for the ``repro bench`` regression gate.
 """
 
 import json
@@ -34,12 +37,14 @@ import time
 from pathlib import Path
 
 from repro.enumeration import enumerate_states
+from repro.obs import bench
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.tour import IndexedTourGenerator, TourGenerator
 from repro.vectors import TransitionEventMemo, VectorGenerator, pp_instruction_cost
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_OUT = REPO_ROOT / "BENCH_backhalf.json"
+HISTORY_OUT = REPO_ROOT / "BENCH_history.jsonl"
 
 SCALES = {"small": 1, "pp": 2}
 SCALE = os.environ.get("BENCH_BACKHALF_SCALE", "pp")
@@ -189,6 +194,28 @@ def test_back_half_speedup(benchmark):
     }
     BENCH_OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  results written to {BENCH_OUT}")
+
+    # Shared-schema history entries for the regression gate.  The jobs=1
+    # vs jobs=4 vector pair shares a context family, so the parallel-
+    # efficiency check can compare them automatically.
+    base_context = {
+        "scale": SCALE, "fill_words": SCALES[SCALE], "seed": SEED,
+        "limit": LIMIT, "repeats": REPEATS, "cpus": os.cpu_count(),
+    }
+    for name, family, jobs, seconds in (
+        ("backhalf.tours.reference", "backhalf.tours.reference", 1, ref_seconds),
+        ("backhalf.tours.indexed", "backhalf.tours.indexed", 1, idx_seconds),
+        ("backhalf.vectors.baseline", "backhalf.vectors.baseline", 1, base_seconds),
+        ("backhalf.vectors.warm-jobs1", "backhalf.vectors.warm", 1, warm_seconds),
+        ("backhalf.vectors.fresh-jobs4", "backhalf.vectors.fresh", 4, par_seconds),
+        ("backhalf.vectors.fresh-jobs1", "backhalf.vectors.fresh", 1, fresh_seconds),
+    ):
+        bench.append_history(str(HISTORY_OUT), bench.BenchResult(
+            name=name,
+            context={**base_context, "family": family, "jobs": jobs},
+            metrics={"wall_seconds": bench.metric(seconds)},
+        ))
+    print(f"  history entries appended to {HISTORY_OUT}")
 
     assert tour_speedup >= MIN_TOUR_SPEEDUP, (
         f"indexed tour speedup {tour_speedup:.2f}x below the "

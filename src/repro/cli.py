@@ -30,6 +30,19 @@ stats), ``--log-level`` enables structured stderr logging, and ``repro
 report`` renders a saved run JSON back into the human tables, including
 Fig 4.1-style coverage-curve data.
 
+Performance observability: a background :class:`ResourceSampler` adds
+RSS / CPU / frontier-size counter tracks to any ``--trace-out`` trace
+(``--sample-interval`` tunes the tick, 0 disables); ``--profile-out``
+arms the opt-in sampling profiler and writes a collapsed-stack profile
+(render with flamegraph.pl / speedscope); ``--heartbeat-out`` streams
+machine-readable JSONL progress heartbeats while a live status line is
+rewritten on stderr whenever it is a terminal (``--progress`` forces it
+on, ``--no-progress`` off).  ``repro bench`` runs the registered
+benchmark suite, appends one ``repro.bench-result/1`` line per benchmark
+to ``BENCH_history.jsonl`` keyed by git SHA, and gates on regressions
+against the trailing history (``--report-only`` demotes failures to
+warnings).
+
 Resilience: ``--checkpoint-dir`` snapshots enumeration at wave boundaries
 (``--checkpoint-every`` controls the cadence) and ``--resume`` continues
 an interrupted run from the newest snapshot to a bit-identical graph;
@@ -52,12 +65,15 @@ Exit codes (stable; scripts and CI may rely on them):
   model itself is wrong, which outranks any validation verdict.
 - ``4`` -- a resource budget truncated the run; results cover only the
   explored fraction and are reported before exiting.
+- ``5`` -- ``repro bench`` detected a performance regression against the
+  trailing history baseline (suppressed by ``--report-only``).
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -70,7 +86,16 @@ from repro.enumeration import (
     enumerate_states_parallel,
 )
 from repro.enumeration.bfs import InvariantViolation
-from repro.obs import Observer, RunReport, Tracer, resolve
+from repro.obs import (
+    Observer,
+    ProgressReporter,
+    ResourceSampler,
+    RunReport,
+    SamplingProfiler,
+    Tracer,
+    resolve,
+    stderr_if_tty,
+)
 from repro.pp.fsm_model import PPControlModel, PPModelConfig
 from repro.resilience import (
     Budget,
@@ -89,6 +114,7 @@ EXIT_VALIDATION_FAILED = 1
 EXIT_USAGE = 2
 EXIT_INVARIANT_VIOLATION = 3
 EXIT_BUDGET_TRUNCATED = 4
+EXIT_PERF_REGRESSION = 5
 
 
 def _model_config(args) -> PPModelConfig:
@@ -142,6 +168,25 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-level",
                         choices=["debug", "info", "warning", "error"],
                         help="enable structured logging to stderr")
+    parser.add_argument("--heartbeat-out", metavar="PATH",
+                        help="stream machine-readable JSONL progress "
+                             "heartbeats (repro.heartbeat/1) to this file")
+    parser.add_argument("--sample-interval", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="resource sampler tick: RSS/CPU/frontier "
+                             "counter tracks in --trace-out traces and a "
+                             "resources summary in the run report "
+                             "(default 0.25; 0 disables)")
+    parser.add_argument("--profile-out", metavar="PATH",
+                        help="arm the sampling profiler and write a "
+                             "collapsed-stack profile here (render with "
+                             "flamegraph.pl or speedscope)")
+    progress = parser.add_mutually_exclusive_group()
+    progress.add_argument("--progress", action="store_true",
+                          help="force the live stderr status line on "
+                               "(default: only when stderr is a terminal)")
+    progress.add_argument("--no-progress", action="store_true",
+                          help="suppress the live stderr status line")
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
@@ -217,18 +262,46 @@ def _configure_logging(args) -> None:
         )
 
 
+def _progress_stream(args):
+    if getattr(args, "no_progress", False):
+        return None
+    if getattr(args, "progress", False):
+        return sys.stderr
+    return stderr_if_tty()
+
+
 def _make_observer(args) -> Optional[Observer]:
     """An observer when any sink is requested, else None (no-op path)."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
+    heartbeat_out = getattr(args, "heartbeat_out", None)
+    profile_out = getattr(args, "profile_out", None)
+    progress_stream = _progress_stream(args)
+    if not any((trace_out, metrics_out, heartbeat_out, profile_out,
+                progress_stream)):
         return None
     tracer = None
     if trace_out:
         # .jsonl streams events live (crash-tolerant); any other suffix
         # buffers and exports Chrome trace_event format on completion.
         tracer = Tracer(path=trace_out if trace_out.endswith(".jsonl") else None)
-    return Observer(tracer=tracer)
+    progress = None
+    if heartbeat_out or progress_stream is not None:
+        progress = ProgressReporter(path=heartbeat_out, stream=progress_stream)
+    sampler = None
+    interval = getattr(args, "sample_interval", 0.0) or 0.0
+    if interval > 0 and (trace_out or metrics_out):
+        sampler = ResourceSampler(interval=interval, tracer=tracer)
+        sampler.start()
+    profiler = None
+    if profile_out:
+        profiler = SamplingProfiler()
+        profiler.start()
+        if not profiler.available:
+            print("sampling profiler unavailable on this platform; "
+                  "--profile-out will be empty", file=sys.stderr)
+    return Observer(tracer=tracer, progress=progress, sampler=sampler,
+                    profiler=profiler)
 
 
 def _finish_observer(args, observer: Optional[Observer],
@@ -236,7 +309,11 @@ def _finish_observer(args, observer: Optional[Observer],
     """Flush the observer's sinks to the paths the user asked for."""
     if observer is None:
         return
+    # Stops the sampler/profiler and flushes the final heartbeat, so the
+    # perf section has to be (re)captured after the close.
     observer.close()
+    if run_report is not None:
+        run_report.perf = observer.perf_summary()
     trace_out = getattr(args, "trace_out", None)
     if trace_out and observer.tracer is not None:
         if trace_out.endswith(".jsonl"):
@@ -245,6 +322,16 @@ def _finish_observer(args, observer: Optional[Observer],
             observer.tracer.write_chrome_trace(trace_out)
             print(f"chrome trace written to {trace_out} "
                   "(open in chrome://tracing or ui.perfetto.dev)")
+    heartbeat_out = getattr(args, "heartbeat_out", None)
+    if heartbeat_out and observer.progress is not None:
+        print(f"heartbeats written to {heartbeat_out} "
+              f"({observer.progress.emitted} emitted)")
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out and observer.profiler is not None:
+        observer.profiler.write_collapsed(profile_out)
+        print(f"collapsed-stack profile written to {profile_out} "
+              f"({observer.profiler.samples} samples; render with "
+              "flamegraph.pl or speedscope)")
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
         if run_report is not None:
@@ -543,6 +630,53 @@ def cmd_checkpoints(args) -> int:
     return EXIT_OK
 
 
+def cmd_bench(args) -> int:
+    """Run registered benchmarks, extend the history, gate on regressions."""
+    from repro.obs import bench
+
+    names = bench.registered_benchmarks()
+    if args.list:
+        for name in names:
+            print(name)
+        return EXIT_OK
+    if args.only:
+        unknown = sorted(set(args.only) - set(names))
+        if unknown:
+            print(f"unknown benchmark(s) {unknown}; registered: {names}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        names = [n for n in names if n in set(args.only)]
+    for name in names:
+        result = bench.run_benchmark(name)
+        bench.append_history(args.history, result)
+        cells = ", ".join(
+            f"{metric_name}={cell['value']:.4g} {cell['unit']}"
+            for metric_name, cell in sorted(result.metrics.items())
+        )
+        print(f"{name:<24} {cells}")
+    entries = bench.load_history(args.history)
+    print(f"history: {len(entries)} entries in {args.history} "
+          f"(now at {bench.git_sha()[:12]})")
+    for warning in bench.parallel_efficiency_warnings(entries):
+        print(f"WARNING: {warning}")
+    regressions = bench.detect_regressions(
+        entries, threshold=args.threshold, window=args.window
+    )
+    if not regressions:
+        print(f"regression gate: ok (threshold {args.threshold:.0%}, "
+              f"window {args.window})")
+        return EXIT_OK
+    label = "WARNING" if args.report_only else "REGRESSION"
+    for regression in regressions:
+        print(f"{label}: {regression.describe()}")
+    if args.report_only:
+        print(f"regression gate: {len(regressions)} finding(s), "
+              "demoted to warnings (--report-only)")
+        return EXIT_OK
+    print(f"regression gate: FAILED ({len(regressions)} finding(s))")
+    return EXIT_PERF_REGRESSION
+
+
 def cmd_report(args) -> int:
     try:
         report = RunReport.load(args.report)
@@ -550,6 +684,16 @@ def cmd_report(args) -> int:
         print(f"cannot read run report {args.report}: {exc}", file=sys.stderr)
         return 2
     print(report.render())
+    history_path = args.history
+    if history_path is None and os.path.exists("BENCH_history.jsonl"):
+        history_path = "BENCH_history.jsonl"
+    if history_path:
+        from repro.obs import bench
+
+        for warning in bench.parallel_efficiency_warnings(
+            bench.load_history(history_path)
+        ):
+            print(f"WARNING: {warning}")
     if args.curve:
         if not report.coverage_curve:
             print("run report has no coverage-curve data", file=sys.stderr)
@@ -657,7 +801,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("report", help="path to a run report JSON file")
     p.add_argument("--curve", metavar="CSV",
                    help="also export the Fig 4.1 coverage-curve data as CSV")
+    p.add_argument("--history", metavar="PATH",
+                   help="benchmark history JSONL to check for parallel-"
+                        "efficiency warnings (default: BENCH_history.jsonl "
+                        "when present)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("bench",
+                       help="run registered benchmarks, append to the "
+                            "history timeline, gate on regressions")
+    p.add_argument("--history", default="BENCH_history.jsonl", metavar="PATH",
+                   help="benchmark history JSONL timeline "
+                        "(default: BENCH_history.jsonl)")
+    p.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
+                   help="fractional slowdown vs the baseline median that "
+                        "fails the gate (default 0.25 = 25%%)")
+    p.add_argument("--window", type=int, default=5, metavar="N",
+                   help="trailing entries per series whose median forms "
+                        "the baseline (default 5)")
+    p.add_argument("--report-only", action="store_true",
+                   help="print regressions as warnings and exit 0 "
+                        "(for noisy shared runners)")
+    p.add_argument("--only", action="append", metavar="NAME",
+                   help="run only this registered benchmark (repeatable)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered benchmarks and exit")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

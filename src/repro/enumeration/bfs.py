@@ -196,6 +196,9 @@ def enumerate_states(
             obs.event("enum.wave", wave=waves - 1, frontier=wave_size,
                       states=graph.num_states,
                       transitions=transitions_explored)
+            obs.heartbeat("enumerate", wave=waves - 1, frontier=wave_size,
+                          states=graph.num_states,
+                          transitions=transitions_explored)
             waves += 1
             previous_last = wave_last
             wave_last = graph.num_states - 1
@@ -258,6 +261,8 @@ def enumerate_states(
     if not truncated:
         obs.observe("enum.wave.frontier_states", wave_size)
         obs.event("enum.wave", wave=waves - 1, frontier=wave_size,
+                  states=graph.num_states, transitions=transitions_explored)
+    obs.heartbeat("enumerate", wave=waves - 1, frontier=0,
                   states=graph.num_states, transitions=transitions_explored)
     obs.inc("enum.states", graph.num_states)
     obs.inc("enum.transitions_explored", transitions_explored)

@@ -449,6 +449,10 @@ def enumerate_states_parallel(
                       shards=len(shards), states=graph.num_states,
                       transitions=transitions_explored,
                       seconds=time.perf_counter() - wave_started)
+            obs.heartbeat("enumerate", wave=waves, frontier=len(wave),
+                          states=graph.num_states,
+                          transitions=transitions_explored,
+                          shards=len(shards))
             waves += 1
             wave = next_wave
             if not wave:

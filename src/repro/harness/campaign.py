@@ -231,9 +231,15 @@ class ValidationCampaign:
             for method in ("generated", "random", "directed"):
                 if method not in methods:
                     continue
+                self.obs.heartbeat("campaign", bug=bug_label, method=method)
                 with self.obs.span("campaign.method", method=method, bug=bug_label):
                     outcome = runners[method](config)
                 result.outcomes[method] = outcome
+                self.obs.heartbeat(
+                    "campaign", bug=bug_label, method=method,
+                    detected=outcome.detected,
+                    instructions=outcome.instructions_run,
+                )
                 self.obs.inc("campaign.evaluations", method=method)
                 self.obs.observe(
                     "campaign.instructions_run",

@@ -206,6 +206,8 @@ def run_vector_traces(
             result = run_vector_trace(trace, config=config)
             results.append(result)
             _record_result(obs, index, result)
+            obs.heartbeat("compare", traces=index + 1, total=len(traces),
+                          divergences=len(diverging) + bool(result.diverged))
             if result.diverged:
                 diverging.append(index)
                 if stop_on_divergence:
@@ -247,6 +249,9 @@ def run_vector_traces(
                 emitted = pending.pop(next_index)
                 results.append(emitted)
                 _record_result(obs, next_index, emitted)
+                obs.heartbeat("compare", traces=next_index + 1,
+                              total=len(traces), workers=workers,
+                              divergences=len(diverging) + bool(emitted.diverged))
                 if emitted.diverged:
                     diverging.append(next_index)
                     if stop_on_divergence:

@@ -17,9 +17,32 @@ runtime signals:
 - :class:`RunReport` -- one machine-readable JSON document unifying
   stats, divergences, cache provenance, per-phase wall/CPU time and
   coverage-curve data, rendered by ``repro report``
-  (:mod:`repro.obs.report`).
+  (:mod:`repro.obs.report`);
+- :class:`ResourceSampler` -- a background thread sampling RSS / CPU /
+  frontier size into Perfetto counter tracks
+  (:mod:`repro.obs.resource`);
+- :class:`SamplingProfiler` -- an opt-in ``setitimer`` statistical
+  profiler with collapsed-stack / flamegraph export
+  (:mod:`repro.obs.prof`);
+- :class:`ProgressReporter` -- live heartbeats: a stderr status line
+  plus machine-readable JSONL (:mod:`repro.obs.progress`);
+- the benchmark registry -- a shared ``repro.bench-result/1`` schema,
+  the ``BENCH_history.jsonl`` timeline keyed by git SHA, and the
+  regression gate behind ``repro bench`` (:mod:`repro.obs.bench`).
 """
 
+from repro.obs.bench import (
+    BENCH_RESULT_SCHEMA,
+    BenchResult,
+    append_history,
+    detect_regressions,
+    load_history,
+    parallel_efficiency_warnings,
+    register_benchmark,
+    registered_benchmarks,
+    run_benchmark,
+    validate_bench_result,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     METRICS_SCHEMA,
@@ -27,7 +50,16 @@ from repro.obs.metrics import (
     validate_metrics_snapshot,
 )
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, resolve
+from repro.obs.prof import SamplingProfiler
+from repro.obs.progress import (
+    HEARTBEAT_SCHEMA,
+    ProgressReporter,
+    read_heartbeats,
+    stderr_if_tty,
+    validate_heartbeats,
+)
 from repro.obs.report import RUN_REPORT_SCHEMA, RunReport, validate_run_report
+from repro.obs.resource import ResourceSampler, current_rss_mb, peak_rss_mb
 from repro.obs.trace import (
     TRACE_SCHEMA,
     Tracer,
@@ -37,6 +69,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BENCH_RESULT_SCHEMA",
+    "BenchResult",
+    "append_history",
+    "detect_regressions",
+    "load_history",
+    "parallel_efficiency_warnings",
+    "register_benchmark",
+    "registered_benchmarks",
+    "run_benchmark",
+    "validate_bench_result",
     "DEFAULT_BUCKETS",
     "METRICS_SCHEMA",
     "MetricsRegistry",
@@ -45,9 +87,18 @@ __all__ = [
     "NullObserver",
     "Observer",
     "resolve",
+    "SamplingProfiler",
+    "HEARTBEAT_SCHEMA",
+    "ProgressReporter",
+    "read_heartbeats",
+    "stderr_if_tty",
+    "validate_heartbeats",
     "RUN_REPORT_SCHEMA",
     "RunReport",
     "validate_run_report",
+    "ResourceSampler",
+    "current_rss_mb",
+    "peak_rss_mb",
     "TRACE_SCHEMA",
     "Tracer",
     "chrome_trace_from_events",

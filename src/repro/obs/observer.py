@@ -53,9 +53,15 @@ class Observer:
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        progress=None,  # repro.obs.progress.ProgressReporter
+        sampler=None,   # repro.obs.resource.ResourceSampler
+        profiler=None,  # repro.obs.prof.SamplingProfiler
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.progress = progress
+        self.sampler = sampler
+        self.profiler = profiler
         self.phases: List[PhaseTiming] = []
         self._depth = 0
         self._epoch = time.perf_counter()
@@ -92,6 +98,19 @@ class Observer:
         if self.tracer is not None:
             self.tracer.instant(name, **attrs)
 
+    def heartbeat(self, phase: str, **fields: Any) -> None:
+        """Report live progress: the heartbeat channel + sampler gauges.
+
+        Instrumented loops call this at natural milestones (per wave,
+        per trace); the attached :class:`ProgressReporter` rate-limits
+        the fan-out, and a ``frontier`` field additionally feeds the
+        resource sampler's frontier counter track.
+        """
+        if self.progress is not None:
+            self.progress.update(phase, **fields)
+        if self.sampler is not None and "frontier" in fields:
+            self.sampler.set_value("enum.frontier_states", fields["frontier"])
+
     # -- metrics ---------------------------------------------------------------
 
     def inc(self, name: str, value: float = 1, **labels: Any) -> None:
@@ -124,7 +143,27 @@ class Observer:
             return 1.0 if not children else 0.0
         return min(1.0, sum(p.wall for p in children) / total)
 
+    def perf_summary(self) -> dict:
+        """The run report's ``perf`` section: sampler/profiler/heartbeats."""
+        perf: dict = {}
+        if self.sampler is not None:
+            perf["resources"] = self.sampler.summary()
+        if self.profiler is not None:
+            perf["profile"] = self.profiler.summary()
+        if self.progress is not None:
+            perf["heartbeats"] = {
+                "emitted": self.progress.emitted,
+                "path": self.progress.path,
+            }
+        return perf
+
     def close(self) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.progress is not None:
+            self.progress.close()
         if self.tracer is not None:
             self.tracer.close()
 
@@ -137,6 +176,9 @@ class NullObserver(Observer):
     def __init__(self):  # no registry allocation on the fast path
         self.metrics = _NULL_REGISTRY
         self.tracer = None
+        self.progress = None
+        self.sampler = None
+        self.profiler = None
         self.phases = []
 
     def span(self, name: str, **attrs: Any) -> ContextManager[None]:
@@ -144,6 +186,12 @@ class NullObserver(Observer):
 
     def event(self, name: str, **attrs: Any) -> None:
         pass
+
+    def heartbeat(self, phase: str, **fields: Any) -> None:
+        pass
+
+    def perf_summary(self) -> dict:
+        return {}
 
     def inc(self, name: str, value: float = 1, **labels: Any) -> None:
         pass

@@ -1,0 +1,147 @@
+"""Opt-in sampling profiler with collapsed-stack / flamegraph export.
+
+A :class:`SamplingProfiler` arms a POSIX interval timer
+(``signal.setitimer``) and records the interrupted Python stack on every
+tick.  ``ITIMER_PROF`` (the default) ticks on *CPU* time, so a blocked
+process takes no samples and the profile is a direct answer to "where do
+the cycles go"; ``timer="real"`` switches to wall-clock ticks for
+latency hunting (sleeps and I/O then show up).
+
+Output is the collapsed-stack format every flamegraph tool eats
+(``flamegraph.pl``, speedscope, inferno)::
+
+    bfs.py:enumerate_states;kernel.py:expand;state.py:pack 1845
+
+one line per unique stack, counts last.  ``repro ... --profile-out
+profile.folded`` wires it into any CLI run; render with e.g.
+``flamegraph.pl profile.folded > profile.svg``.
+
+Constraints (why this is *opt-in* rather than always-on):
+
+- signal handlers can only be installed from the main thread, and only
+  one profiler can be armed at a time; :attr:`available` is False (and
+  start/stop degrade to no-ops) anywhere the timer cannot be armed, so
+  library callers never have to guard the platform.
+- a ~few-hundred-microsecond handler firing every ``interval`` seconds
+  costs roughly ``handler/interval`` relative overhead; the default
+  5 ms tick keeps that well under 1% while still collecting thousands
+  of samples from a minute-long run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Dict, Optional, Tuple
+
+#: Collapsed-stack frame separator (the flamegraph.pl convention).
+FRAME_SEPARATOR = ";"
+
+
+class SamplingProfiler:
+    """Statistical profiler: periodic stack captures, collapsed-stack export.
+
+    >>> profiler = SamplingProfiler(interval=0.001)
+    >>> with profiler:
+    ...     _ = sum(i * i for i in range(200_000))
+    >>> profiler.samples > 0 or not profiler.available
+    True
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        timer: str = "prof",
+        max_depth: int = 64,
+    ):
+        if timer not in ("prof", "real"):
+            raise ValueError(f"timer must be 'prof' or 'real', not {timer!r}")
+        self.interval = max(0.0005, float(interval))
+        self.timer = timer
+        self.max_depth = max_depth
+        self.samples = 0
+        self.counts: Dict[Tuple[str, ...], int] = {}
+        self._armed = False
+        self._previous_handler = None
+        if timer == "prof":
+            self._itimer, self._signal = signal.ITIMER_PROF, signal.SIGPROF
+        else:
+            self._itimer, self._signal = signal.ITIMER_REAL, signal.SIGALRM
+
+    # -- availability ----------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        """True when the interval timer can be armed here (POSIX main thread)."""
+        return (
+            hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._armed or not self.available:
+            return self
+        self._previous_handler = signal.signal(self._signal, self._handle)
+        signal.setitimer(self._itimer, self.interval, self.interval)
+        self._armed = True
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if not self._armed:
+            return self
+        signal.setitimer(self._itimer, 0.0)
+        signal.signal(self._signal, self._previous_handler or signal.SIG_DFL)
+        self._previous_handler = None
+        self._armed = False
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the sample ------------------------------------------------------------
+
+    def _handle(self, signum, frame) -> None:
+        stack = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            code = frame.f_code
+            stack.append(
+                f"{os.path.basename(code.co_filename)}:{code.co_name}"
+            )
+            frame = frame.f_back
+            depth += 1
+        key = tuple(reversed(stack))
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.samples += 1
+
+    # -- export ----------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """The profile in collapsed-stack format, heaviest stacks first."""
+        lines = [
+            f"{FRAME_SEPARATOR.join(stack)} {count}"
+            for stack, count in sorted(
+                self.counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str) -> None:
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(path, self.collapsed())
+
+    def summary(self) -> Dict[str, object]:
+        """Profiler facts for the run report's ``perf`` section."""
+        return {
+            "samples": self.samples,
+            "unique_stacks": len(self.counts),
+            "interval_seconds": self.interval,
+            "timer": self.timer,
+        }

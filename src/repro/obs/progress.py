@@ -1,0 +1,215 @@
+"""Live progress heartbeats: a stderr status line + machine JSONL stream.
+
+Multi-minute runs (paper-scale enumeration, full campaigns) were silent
+until done.  A :class:`ProgressReporter` is the one channel both humans
+and machines read:
+
+- **stderr status line** -- a single ``\\r``-rewritten line
+  (``[enumerate] wave=14 states=48,210 frontier=3,912``) when a stream
+  is attached, so a local run always shows signs of life;
+- **JSONL heartbeats** (schema :data:`HEARTBEAT_SCHEMA`) when a path is
+  given -- one self-describing JSON object per line, flushed
+  immediately.  This is exactly the substrate a streaming consumer
+  (the planned ``repro serve`` SSE endpoint) replays: tail the file,
+  forward each line.
+
+Instrumented code calls :meth:`Observer.heartbeat(phase, **fields)
+<repro.obs.observer.Observer.heartbeat>` as often as it likes (per wave,
+per trace); the reporter rate-limits emission to ``min_interval`` except
+on phase changes and on :meth:`close`, which always flushes the latest
+suppressed state -- so the final heartbeat of every phase is never lost,
+and hot loops pay one clock read per call.
+
+JSONL heartbeat schema (``repro.heartbeat/1``)
+----------------------------------------------
+Every line is one JSON object::
+
+    {"schema": "repro.heartbeat/1",
+     "seq": <monotone line counter, int>,
+     "ts": <seconds since the Unix epoch, float>,
+     "elapsed": <seconds since the reporter started, float>,
+     "phase": <pipeline phase, str>,
+     "pid": <process id, int>,
+     "fields": {<phase-specific numeric/str facts>}}
+
+The ``schema`` key repeats on every line deliberately: a consumer that
+attaches mid-stream (SSE, ``tail -f``) can validate any line it joins
+at.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional
+
+#: Heartbeat line format version.
+HEARTBEAT_SCHEMA = "repro.heartbeat/1"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+class ProgressReporter:
+    """Rate-limited progress fan-out: status line + JSONL heartbeats.
+
+    Parameters
+    ----------
+    path:
+        JSONL heartbeat file (``None`` disables the machine channel).
+    stream:
+        Text stream for the live status line, typically ``sys.stderr``
+        (``None`` disables rendering).
+    min_interval:
+        Minimum seconds between emitted heartbeats within one phase;
+        phase changes and :meth:`close` always emit.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+        min_interval: float = 0.5,
+    ):
+        self.path = path
+        self.stream = stream
+        self.min_interval = min_interval
+        self.emitted = 0
+        self._file: Optional[IO[str]] = open(path, "w") if path else None
+        self._epoch = time.monotonic()
+        self._last_emit: Optional[float] = None
+        self._last_phase: Optional[str] = None
+        self._pending: Optional[Dict[str, Any]] = None
+        self._rendered = False
+        self._closed = False
+
+    # -- producing -------------------------------------------------------------
+
+    def update(self, phase: str, **fields: Any) -> None:
+        """Record progress; emits now or holds the latest state for later."""
+        if self._closed:
+            return
+        now = time.monotonic()
+        line = {"phase": phase, "fields": fields, "elapsed": now - self._epoch}
+        if (
+            phase == self._last_phase
+            and self._last_emit is not None
+            and now - self._last_emit < self.min_interval
+        ):
+            self._pending = line  # superseded in place until the window opens
+            return
+        self._emit(line, now)
+
+    def close(self) -> None:
+        """Flush the last suppressed heartbeat and release the sinks."""
+        if self._closed:
+            return
+        if self._pending is not None:
+            self._emit(self._pending, time.monotonic())
+        self._closed = True
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self.stream is not None and self._rendered:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):  # pragma: no cover - closed stream
+                pass
+
+    def _emit(self, line: Dict[str, Any], now: float) -> None:
+        self._pending = None
+        self._last_emit = now
+        self._last_phase = line["phase"]
+        record = {
+            "schema": HEARTBEAT_SCHEMA,
+            "seq": self.emitted,
+            "ts": time.time(),
+            "elapsed": line["elapsed"],
+            "phase": line["phase"],
+            "pid": os.getpid(),
+            "fields": line["fields"],
+        }
+        self.emitted += 1
+        if self._file is not None:
+            self._file.write(json.dumps(record) + "\n")
+            self._file.flush()
+        if self.stream is not None:
+            self._render(record)
+
+    def _render(self, record: Mapping[str, Any]) -> None:
+        pairs = " ".join(
+            f"{key}={_format_value(value)}"
+            for key, value in record["fields"].items()
+        )
+        text = f"[{record['phase']}] {pairs}"
+        if len(text) > 118:
+            text = text[:115] + "..."
+        try:
+            # Pad to blot out a longer previous line, then rewrite in place.
+            self.stream.write(f"\r{text:<118}")
+            self.stream.flush()
+            self._rendered = True
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            self.stream = None
+
+
+def stderr_if_tty() -> Optional[IO[str]]:
+    """``sys.stderr`` when it is an interactive terminal, else ``None``."""
+    try:
+        return sys.stderr if sys.stderr.isatty() else None
+    except (AttributeError, ValueError):  # pragma: no cover
+        return None
+
+
+def read_heartbeats(path: str) -> List[Dict[str, Any]]:
+    """Load a heartbeat JSONL file back into its record list."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_heartbeats(records: Iterable[Mapping[str, Any]]) -> List[str]:
+    """Structural validation of a heartbeat stream; returns problems.
+
+    Checks the documented schema on every line (mid-stream attachment is
+    a supported consumption mode) plus monotone ``seq`` / ``ts``.
+    """
+    problems: List[str] = []
+    last_seq = None
+    last_ts = None
+    for index, record in enumerate(records):
+        if record.get("schema") != HEARTBEAT_SCHEMA:
+            problems.append(
+                f"line {index}: schema {record.get('schema')!r} != "
+                f"{HEARTBEAT_SCHEMA!r}"
+            )
+        for field, kind in (
+            ("seq", int), ("ts", (int, float)), ("elapsed", (int, float)),
+            ("phase", str), ("pid", int), ("fields", dict),
+        ):
+            if not isinstance(record.get(field), kind):
+                problems.append(f"line {index}: bad {field!r}: "
+                                f"{record.get(field)!r}")
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if last_seq is not None and seq <= last_seq:
+                problems.append(f"line {index}: seq {seq} not increasing")
+            last_seq = seq
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if last_ts is not None and ts < last_ts:
+                problems.append(f"line {index}: ts went backwards")
+            last_ts = ts
+    return problems

@@ -44,6 +44,11 @@ class RunReport:
     #: worker-crash recovery had to do.  Derived from the enumeration stats
     #: when not supplied explicitly.
     resilience: Dict[str, Any] = field(default_factory=dict)
+    #: Performance observability: resource-sampler timeline summary
+    #: (peak/mean RSS and CPU), sampling-profiler facts, and heartbeat
+    #: channel provenance.  Populated from
+    #: :meth:`Observer.perf_summary` when those sinks were attached.
+    perf: Dict[str, Any] = field(default_factory=dict)
     schema: str = RUN_REPORT_SCHEMA
 
     # -- construction ----------------------------------------------------------
@@ -55,6 +60,7 @@ class RunReport:
         """A report carrying the observer's phases + metrics plus ``fields``."""
         if fields.get("enumeration") and "resilience" not in fields:
             fields["resilience"] = _derive_resilience(fields["enumeration"])
+        fields.setdefault("perf", observer.perf_summary())
         return cls(
             command=command,
             phases=_phase_rows(observer),
@@ -113,6 +119,7 @@ class RunReport:
             coverage_curve=curve,
             metrics=observer.metrics.snapshot() if observer is not None else {},
             resilience=_derive_resilience(enumeration),
+            perf=observer.perf_summary() if observer is not None else {},
         )
 
     @classmethod
@@ -154,6 +161,7 @@ class RunReport:
             phases=_phase_rows(observer),
             metrics=observer.metrics.snapshot() if observer is not None else {},
             resilience=_derive_resilience(enumeration),
+            perf=observer.perf_summary() if observer is not None else {},
         )
 
     # -- (de)serialization -----------------------------------------------------
@@ -224,6 +232,9 @@ class RunReport:
         if self.coverage_curve:
             sections.append("")
             sections.append(_render_curve(self.coverage_curve))
+        if self.perf:
+            sections.append("")
+            sections.append(_render_perf(self.perf))
         if self.phases:
             sections.append("")
             sections.append(self._render_phases())
@@ -315,6 +326,39 @@ def _render_resilience(resilience: Mapping[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _render_perf(perf: Mapping[str, Any]) -> str:
+    lines = ["Performance observability"]
+    resources = perf.get("resources")
+    if resources:
+        peak = resources.get("peak_rss_mb")
+        peak_text = f"{peak:.1f} MB" if isinstance(peak, (int, float)) else "n/a"
+        lines.append(
+            f"  resources:         peak RSS {peak_text}, "
+            f"mean CPU {resources.get('mean_cpu_percent', 0.0):.0f}% "
+            f"(max {resources.get('max_cpu_percent', 0.0):.0f}%) over "
+            f"{resources.get('samples', 0)} samples at "
+            f"{resources.get('interval_seconds', 0.0):.2f}s"
+        )
+    profile = perf.get("profile")
+    if profile:
+        lines.append(
+            f"  profile:           {profile.get('samples', 0):,} samples, "
+            f"{profile.get('unique_stacks', 0):,} unique stacks "
+            f"({profile.get('timer')} timer, "
+            f"{1000.0 * profile.get('interval_seconds', 0.0):.1f} ms tick)"
+        )
+    heartbeats = perf.get("heartbeats")
+    if heartbeats:
+        path = heartbeats.get("path")
+        lines.append(
+            f"  heartbeats:        {heartbeats.get('emitted', 0)} emitted"
+            + (f" -> {path}" if path else "")
+        )
+    if len(lines) == 1:
+        lines.append("  (no perf sinks were attached)")
+    return "\n".join(lines)
+
+
 def _render_cache(cache: Mapping[str, Any]) -> str:
     if not cache.get("enabled"):
         return "disabled"
@@ -403,4 +447,6 @@ def validate_run_report(payload: Mapping[str, Any]) -> List[str]:
                     break
     if payload.get("metrics"):
         problems.extend(validate_metrics_snapshot(payload["metrics"]))
+    if "perf" in payload and not isinstance(payload["perf"], dict):
+        problems.append("perf is not a dict")
     return problems

@@ -11,29 +11,38 @@ JSONL event schema (``repro.trace/1``)
 Every line is one JSON object::
 
     {"ts": <seconds since trace start, float>,
-     "kind": "begin" | "end" | "instant",
+     "kind": "begin" | "end" | "instant" | "counter",
      "name": <event name, str>,
      "depth": <span nesting depth, int>,
      "pid": <process id, int>,
      "attrs": {<arbitrary JSON-able key/values>}}
 
 ``end`` events additionally carry ``"wall"`` and ``"cpu"`` (seconds, for
-the span they close).  The first line of a file is a ``begin`` of the
-implicit stream (kind ``instant``, name ``trace.start``) carrying the
-schema version in its attrs.
+the span they close); ``counter`` events carry their sampled values in
+``attrs`` (typically ``{"value": <number>}``).  The first line of a file
+is a ``begin`` of the implicit stream (kind ``instant``, name
+``trace.start``) carrying the schema version in its attrs.
 
 Chrome trace_event export
 -------------------------
 :meth:`Tracer.chrome_trace` converts the stream into the Chrome
 ``trace_event`` JSON object format (``{"traceEvents": [...]}``) using
-``B``/``E`` duration events and ``i`` instant events, loadable directly
-in ``chrome://tracing`` or https://ui.perfetto.dev.
+``B``/``E`` duration events, ``i`` instant events and ``C`` counter
+events (rendered as counter *tracks* -- RSS/CPU/frontier curves -- by
+Perfetto), loadable directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.
+
+Thread safety: :meth:`Tracer.counter` (and every other emit) takes an
+internal lock, because counter samples arrive from the
+:class:`~repro.obs.resource.ResourceSampler` background thread while the
+main thread emits spans.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, IO, Iterable, List, Mapping, Optional
@@ -58,15 +67,25 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._file: Optional[IO[str]] = open(path, "w") if path else None
         self.path = path
+        self._lock = threading.Lock()
+        self._last_ts = 0.0
         self.instant("trace.start", schema=TRACE_SCHEMA, pid=os.getpid())
 
     # -- recording -----------------------------------------------------------
 
     def _emit(self, event: Dict[str, Any]) -> None:
-        self.events.append(event)
-        if self._file is not None:
-            self._file.write(json.dumps(event) + "\n")
-            self._file.flush()
+        with self._lock:
+            # Timestamps are taken before the lock, so a counter sample
+            # from the sampler thread can race a span emit by a few
+            # microseconds; clamp so the stream stays monotone (the
+            # validator and Perfetto both require ordered events).
+            if event["ts"] < self._last_ts:
+                event["ts"] = self._last_ts
+            self._last_ts = event["ts"]
+            self.events.append(event)
+            if self._file is not None:
+                self._file.write(json.dumps(event) + "\n")
+                self._file.flush()
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
@@ -76,6 +95,22 @@ class Tracer:
         self._emit({
             "ts": self._now(),
             "kind": "instant",
+            "name": name,
+            "depth": self._depth,
+            "pid": os.getpid(),
+            "attrs": attrs,
+        })
+
+    def counter(self, name: str, value: float, **extra: Any) -> None:
+        """Record one sample of a counter track (Perfetto ``C`` event).
+
+        Thread-safe; called from the resource sampler's tick thread.
+        """
+        attrs = {"value": value}
+        attrs.update(extra)
+        self._emit({
+            "ts": self._now(),
+            "kind": "counter",
             "name": name,
             "depth": self._depth,
             "pid": os.getpid(),
@@ -113,9 +148,10 @@ class Tracer:
             })
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
     # -- exporters -----------------------------------------------------------
 
@@ -133,7 +169,7 @@ class Tracer:
 
 def chrome_trace_from_events(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     """Convert ``repro.trace/1`` events into Chrome ``trace_event`` format."""
-    phase_for_kind = {"begin": "B", "end": "E", "instant": "i"}
+    phase_for_kind = {"begin": "B", "end": "E", "instant": "i", "counter": "C"}
     trace_events: List[Dict[str, Any]] = []
     for event in events:
         converted: Dict[str, Any] = {
@@ -176,7 +212,7 @@ def validate_trace_events(events: Iterable[Mapping[str, Any]]) -> List[str]:
     saw_header = False
     for index, event in enumerate(events):
         kind = event.get("kind")
-        if kind not in ("begin", "end", "instant"):
+        if kind not in ("begin", "end", "instant", "counter"):
             problems.append(f"event {index}: bad kind {kind!r}")
             continue
         for field in ("ts", "name", "depth", "pid", "attrs"):

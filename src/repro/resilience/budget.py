@@ -16,26 +16,22 @@ downstream (pipeline, reports, campaign) is told about the truncation.
 
 from __future__ import annotations
 
-import sys
 import time
 from dataclasses import dataclass
 from typing import Optional
 
-try:  # stdlib on POSIX; absent on Windows -- memory budgets become inert
-    import resource
-except ImportError:  # pragma: no cover - POSIX-only repo, defensive
-    resource = None  # type: ignore[assignment]
-
-
 def _peak_rss_mb() -> Optional[float]:
-    """Peak resident set size of this process in MiB, if measurable."""
-    if resource is None:  # pragma: no cover
-        return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is kilobytes on Linux but bytes on macOS.
-    if sys.platform == "darwin":  # pragma: no cover
-        return peak / (1024.0 * 1024.0)
-    return peak / 1024.0
+    """Peak resident set size of this process in MiB, if measurable.
+
+    Delegates to the one normalized ``ru_maxrss`` helper (KiB on Linux,
+    *bytes* on macOS) that lives with the resource sampler -- budgets and
+    timelines must agree on what a megabyte of RSS means.  Imported
+    lazily: ``repro.obs`` pulls in the enumeration stats, which import
+    this module.
+    """
+    from repro.obs.resource import peak_rss_mb
+
+    return peak_rss_mb()
 
 
 @dataclass(frozen=True)

@@ -189,6 +189,13 @@ class IndexedTourGenerator:
                     graph_arcs=num_edges,
                     limit_hit=limit_hit,
                 )
+                obs.heartbeat(
+                    "tours",
+                    traces=len(tours),
+                    instructions=cumulative_instructions,
+                    covered_arcs=num_edges - self._remaining,
+                    graph_arcs=num_edges,
+                )
             elif not limit_hit and self._remaining:
                 raise RuntimeError(
                     "unreachable untraversed arcs remain; graph is not "

@@ -258,12 +258,14 @@ class VectorGenerator:
         obs.gauge("vectors.memo_entries", len(self.memo) if self.memo is not None else 0)
         obs.gauge("vectors.workers", max(workers, 1))
         if workers > 1:
-            traces = self._generate_parallel(tours, workers)
+            traces = self._generate_parallel(tours, workers, obs)
         else:
-            traces = [
-                self._trace_from_tour(tour, random.Random(f"{self.seed}:{i}"))
-                for i, tour in enumerate(tours)
-            ]
+            traces = []
+            for i, tour in enumerate(tours):
+                traces.append(
+                    self._trace_from_tour(tour, random.Random(f"{self.seed}:{i}"))
+                )
+                obs.heartbeat("vectors", traces=len(traces), total=len(tours))
         trace_set = TraceSet(traces=traces)
         obs.inc("vectors.traces", trace_set.num_traces)
         obs.inc("vectors.instructions", trace_set.total_instructions)
@@ -273,12 +275,14 @@ class VectorGenerator:
         return trace_set
 
     def _generate_parallel(
-        self, tours: List[Tour], workers: int
+        self, tours: List[Tour], workers: int, obs: Optional[Observer] = None
     ) -> List[TestVectorTrace]:
         global _PARALLEL_GENERATOR
+        obs = resolve(obs)
         ctx = multiprocessing.get_context("fork")
         chunksize = max(1, len(tours) // (workers * 4))
         results: List[Optional[TestVectorTrace]] = [None] * len(tours)
+        done = 0
         _PARALLEL_GENERATOR = self
         try:
             with ctx.Pool(processes=workers) as pool:
@@ -286,6 +290,9 @@ class VectorGenerator:
                     _vector_trace_job, list(enumerate(tours)), chunksize=chunksize
                 ):
                     results[index] = trace
+                    done += 1
+                    obs.heartbeat("vectors", traces=done, total=len(tours),
+                                  workers=workers)
         finally:
             _PARALLEL_GENERATOR = None
         return results

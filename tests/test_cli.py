@@ -183,7 +183,8 @@ class TestObservabilityFlags:
         chrome = json.loads(path.read_text())
         assert chrome["displayTimeUnit"] == "ms"
         events = chrome["traceEvents"]
-        assert {e["ph"] for e in events} <= {"B", "E", "i"}
+        # "C" events are the resource sampler's Perfetto counter tracks.
+        assert {e["ph"] for e in events} <= {"B", "E", "i", "C"}
         names = {e["name"] for e in events}
         assert {"cli.validate", "pipeline.build", "phase.enumerate"} <= names
         assert "chrome trace written" in capsys.readouterr().out

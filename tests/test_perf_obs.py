@@ -1,0 +1,384 @@
+"""Tests for performance observability: sampler, profiler, heartbeats.
+
+Covers the ISSUE 7 acceptance points: counter tracks survive the
+Chrome/Perfetto round trip, the heartbeat JSONL stream validates against
+its schema, the resource sampler is fork-safe (no thread leaks into pool
+workers), and the CLI wires the sinks end to end.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    HEARTBEAT_SCHEMA,
+    NULL_OBSERVER,
+    Observer,
+    ProgressReporter,
+    ResourceSampler,
+    SamplingProfiler,
+    Tracer,
+    chrome_trace_from_events,
+    current_rss_mb,
+    peak_rss_mb,
+    read_heartbeats,
+    read_jsonl_trace,
+    validate_heartbeats,
+    validate_trace_events,
+)
+from repro.obs.prof import FRAME_SEPARATOR
+
+
+class TestRssHelpers:
+    def test_peak_rss_is_plausible_process_size(self):
+        peak = peak_rss_mb()
+        # A normalized python process is megabytes, not kilobytes' worth
+        # of "MB" (the pre-fix Linux bug read would be ~30,000 here).
+        assert peak is not None
+        assert 5.0 < peak < 100_000.0
+
+    def test_current_rss_close_to_peak(self):
+        current = current_rss_mb()
+        peak = peak_rss_mb()
+        assert current is not None and peak is not None
+        assert current <= peak * 1.5
+
+    def test_budget_meter_reuses_normalized_helper(self):
+        from repro.resilience import budget as budget_mod
+
+        assert budget_mod._peak_rss_mb() == pytest.approx(
+            peak_rss_mb(), rel=0.5
+        )
+
+
+class TestResourceSampler:
+    def test_samples_accumulate_and_summary(self):
+        sampler = ResourceSampler(interval=0.01)
+        with sampler:
+            deadline = time.time() + 0.08
+            while time.time() < deadline:
+                sum(i * i for i in range(1000))
+        summary = sampler.summary()
+        assert summary["samples"] >= 2
+        assert summary["peak_rss_mb"] > 1.0
+        assert summary["max_cpu_percent"] >= 0.0
+        assert summary["timeline"], "timeline should retain points"
+
+    def test_counter_tracks_flow_into_tracer(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(path=path)
+        sampler = ResourceSampler(interval=0.01, tracer=tracer)
+        sampler.set_value("enum.frontier_states", 42)
+        with sampler:
+            time.sleep(0.05)
+        tracer.close()
+        events = read_jsonl_trace(path)
+        assert validate_trace_events(events) == []
+        tracks = {e["name"] for e in events if e["kind"] == "counter"}
+        assert ResourceSampler.RSS_TRACK in tracks
+        assert ResourceSampler.CPU_TRACK in tracks
+        assert "enum.frontier_states" in tracks
+
+    def test_chrome_round_trip_renders_counter_tracks(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(interval=0.01, tracer=tracer)
+        with sampler:
+            with tracer.span("phase.enumerate"):
+                time.sleep(0.04)
+        chrome = chrome_trace_from_events(tracer.events)
+        counters = [e for e in chrome["traceEvents"] if e["ph"] == "C"]
+        assert counters, "expected Perfetto counter events"
+        for event in counters:
+            assert "value" in event["args"]
+        # Perfetto requires timestamps in microseconds, non-decreasing.
+        timestamps = [e["ts"] for e in chrome["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_concurrent_counter_emits_keep_stream_monotone(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(interval=0.001, tracer=tracer)
+        with sampler:
+            for _ in range(50):
+                with tracer.span("phase.wave"):
+                    pass
+        assert validate_trace_events(tracer.events) == []
+
+    def test_stop_is_idempotent_and_joins_thread(self):
+        sampler = ResourceSampler(interval=0.01)
+        sampler.start()
+        assert sampler.running
+        sampler.stop()
+        assert not sampler.running
+        sampler.stop()  # idempotent
+        names = [t.name for t in threading.enumerate()]
+        assert "repro-resource-sampler" not in names
+
+    def test_timeline_thinning_bounds_memory(self):
+        sampler = ResourceSampler(interval=0.01, max_samples=8)
+        for i in range(50):
+            sampler._record({"t": float(i), "rss_mb": 1.0, "cpu_percent": 0.0})
+        assert len(sampler.samples) <= 8
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_fork_safe_no_thread_leak_into_workers(self):
+        """A forked worker inherits a dormant sampler object, no thread."""
+        global _FORK_TEST_SAMPLER
+        sampler = ResourceSampler(interval=0.01)
+        sampler.start()
+        _FORK_TEST_SAMPLER = sampler
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=2) as pool:
+                results = pool.map(_worker_thread_report, range(2))
+            for pid, names, inherited_running in results:
+                assert pid != os.getpid()
+                assert "repro-resource-sampler" not in names, (
+                    f"sampler thread leaked into worker {pid}: {names}"
+                )
+                assert not inherited_running
+            # The parent's sampler kept working across the fork.
+            assert sampler.running
+        finally:
+            _FORK_TEST_SAMPLER = None
+            sampler.stop()
+        assert not sampler.running
+
+    def test_child_stop_does_not_join_parent_thread(self):
+        """stop() called with a foreign pid resets state without joining."""
+        sampler = ResourceSampler(interval=0.01)
+        sampler.start()
+        sampler._pid = os.getpid() + 1  # simulate the forked child's view
+        summary = sampler.stop()  # must not raise or hang
+        assert isinstance(summary, dict)
+
+
+_FORK_TEST_SAMPLER = None
+
+
+def _worker_thread_report(_):
+    import threading as t
+
+    names = [th.name for th in t.enumerate()]
+    inherited = _FORK_TEST_SAMPLER
+    return os.getpid(), names, inherited.running if inherited else False
+
+
+class TestSamplingProfiler:
+    def test_profiles_cpu_work(self):
+        profiler = SamplingProfiler(interval=0.001)
+        if not profiler.available:
+            pytest.skip("setitimer unavailable")
+        with profiler:
+            deadline = time.process_time() + 0.1
+            while time.process_time() < deadline:
+                sum(i * i for i in range(5000))
+        assert profiler.samples > 0
+        assert profiler.counts
+
+    def test_collapsed_stack_format(self, tmp_path):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.counts[("a.py:main", "b.py:inner")] = 7
+        profiler.counts[("a.py:main",)] = 3
+        profiler.samples = 10
+        text = profiler.collapsed()
+        lines = text.strip().splitlines()
+        assert lines[0] == f"a.py:main{FRAME_SEPARATOR}b.py:inner 7"
+        assert lines[1] == "a.py:main 3"
+        out = tmp_path / "profile.folded"
+        profiler.write_collapsed(str(out))
+        assert out.read_text() == text
+
+    def test_stop_restores_prior_handler(self):
+        import signal
+
+        profiler = SamplingProfiler(interval=0.01)
+        if not profiler.available:
+            pytest.skip("setitimer unavailable")
+        before = signal.getsignal(profiler._signal)
+        profiler.start()
+        profiler.stop()
+        assert signal.getsignal(profiler._signal) == before
+
+    def test_bad_timer_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(timer="cpu")
+
+
+class TestProgressReporter:
+    def test_jsonl_heartbeats_validate(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        reporter = ProgressReporter(path=path, min_interval=0.0)
+        reporter.update("enumerate", wave=0, frontier=1, states=1)
+        reporter.update("enumerate", wave=1, frontier=12, states=13)
+        reporter.update("compare", traces=1, total=5)
+        reporter.close()
+        records = read_heartbeats(path)
+        assert validate_heartbeats(records) == []
+        assert [r["phase"] for r in records] == [
+            "enumerate", "enumerate", "compare",
+        ]
+        assert all(r["schema"] == HEARTBEAT_SCHEMA for r in records)
+        assert records[1]["fields"] == {"wave": 1, "frontier": 12, "states": 13}
+
+    def test_rate_limit_holds_latest_and_close_flushes(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        reporter = ProgressReporter(path=path, min_interval=60.0)
+        for wave in range(10):
+            reporter.update("enumerate", wave=wave)
+        reporter.close()
+        records = read_heartbeats(path)
+        # First update emits; the rest are suppressed except the final
+        # state, which close() flushes -- the last heartbeat never lost.
+        assert len(records) == 2
+        assert records[0]["fields"]["wave"] == 0
+        assert records[-1]["fields"]["wave"] == 9
+
+    def test_phase_change_bypasses_rate_limit(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        reporter = ProgressReporter(path=path, min_interval=60.0)
+        reporter.update("enumerate", wave=0)
+        reporter.update("tours", traces=1)
+        reporter.update("compare", traces=1)
+        reporter.close()
+        assert [r["phase"] for r in read_heartbeats(path)] == [
+            "enumerate", "tours", "compare",
+        ]
+
+    def test_status_line_renders_and_finishes_with_newline(self):
+        import io
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=0.0)
+        reporter.update("enumerate", wave=3, states=48210)
+        reporter.close()
+        text = stream.getvalue()
+        assert "\r[enumerate] wave=3 states=48,210" in text
+        assert text.endswith("\n")
+
+    def test_validator_flags_bad_records(self):
+        records = [
+            {"schema": HEARTBEAT_SCHEMA, "seq": 0, "ts": 2.0, "elapsed": 0.1,
+             "phase": "x", "pid": 1, "fields": {}},
+            {"schema": "bogus/9", "seq": 0, "ts": 1.0, "elapsed": "nope",
+             "phase": 3, "pid": 1, "fields": {}},
+        ]
+        problems = validate_heartbeats(records)
+        assert any("schema" in p for p in problems)
+        assert any("seq" in p for p in problems)
+        assert any("ts went backwards" in p for p in problems)
+
+
+class TestObserverIntegration:
+    def test_heartbeat_feeds_progress_and_sampler(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        sampler = ResourceSampler(interval=0.5)  # not started: no thread
+        observer = Observer(
+            progress=ProgressReporter(path=path, min_interval=0.0),
+            sampler=sampler,
+        )
+        observer.heartbeat("enumerate", wave=2, frontier=99)
+        observer.close()
+        assert read_heartbeats(path)[0]["fields"]["frontier"] == 99
+        assert sampler._external["enum.frontier_states"] == 99
+
+    def test_null_observer_heartbeat_is_noop(self):
+        NULL_OBSERVER.heartbeat("enumerate", wave=1, frontier=2)
+        assert NULL_OBSERVER.perf_summary() == {}
+
+    def test_perf_summary_sections(self):
+        observer = Observer(
+            progress=ProgressReporter(min_interval=0.0),
+            sampler=ResourceSampler(interval=0.01),
+            profiler=SamplingProfiler(),
+        )
+        observer.sampler.start()
+        time.sleep(0.03)
+        observer.close()
+        perf = observer.perf_summary()
+        assert set(perf) == {"resources", "profile", "heartbeats"}
+        assert perf["resources"]["samples"] >= 1
+
+    def test_enumeration_emits_heartbeats(self, tmp_path):
+        from repro.enumeration import enumerate_states
+        from repro.pp.fsm_model import PPControlModel, PPModelConfig
+
+        path = str(tmp_path / "hb.jsonl")
+        observer = Observer(
+            progress=ProgressReporter(path=path, min_interval=0.0)
+        )
+        model = PPControlModel(PPModelConfig(fill_words=1)).build()
+        enumerate_states(model, obs=observer)
+        observer.close()
+        records = read_heartbeats(path)
+        assert validate_heartbeats(records) == []
+        assert all(r["phase"] == "enumerate" for r in records)
+        waves = [r["fields"]["wave"] for r in records]
+        assert waves == sorted(waves)
+        # The final heartbeat reports the drained frontier.
+        assert records[-1]["fields"]["frontier"] == 0
+        assert records[-1]["fields"]["states"] > 1000
+
+
+class TestCliPerfFlags:
+    def test_validate_with_all_perf_sinks(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_out = str(tmp_path / "trace.json")
+        hb_out = str(tmp_path / "hb.jsonl")
+        report_out = str(tmp_path / "run.json")
+        code = main([
+            "validate", "--fill-words", "1", "--limit", "200",
+            "--trace-out", trace_out, "--heartbeat-out", hb_out,
+            "--metrics-out", report_out, "--sample-interval", "0.02",
+            "--no-progress",
+        ])
+        assert code == 0
+        chrome = json.loads(open(trace_out).read())
+        tracks = {e["name"] for e in chrome["traceEvents"] if e["ph"] == "C"}
+        assert ResourceSampler.RSS_TRACK in tracks
+        assert ResourceSampler.CPU_TRACK in tracks
+        assert "enum.frontier_states" in tracks
+        records = read_heartbeats(hb_out)
+        assert validate_heartbeats(records) == []
+        phases = {r["phase"] for r in records}
+        assert "enumerate" in phases
+        report = json.loads(open(report_out).read())
+        assert report["perf"]["resources"]["samples"] >= 1
+        assert report["perf"]["heartbeats"]["emitted"] == len(records)
+
+    def test_profile_out_writes_collapsed_stacks(self, tmp_path):
+        from repro.cli import main
+
+        profile_out = str(tmp_path / "profile.folded")
+        code = main([
+            "enumerate", "--fill-words", "1",
+            "--profile-out", profile_out, "--no-progress",
+        ])
+        assert code == 0
+        assert os.path.exists(profile_out)
+        text = open(profile_out).read()
+        for line in text.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert stack
+
+    def test_report_renders_perf_section(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_out = str(tmp_path / "run.json")
+        assert main([
+            "enumerate", "--fill-words", "1", "--metrics-out", report_out,
+            "--sample-interval", "0.02", "--no-progress",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", report_out]) == 0
+        out = capsys.readouterr().out
+        assert "Performance observability" in out
+        assert "peak RSS" in out
