@@ -67,6 +67,16 @@ Exit codes (stable; scripts and CI may rely on them):
   explored fraction and are reported before exiting.
 - ``5`` -- ``repro bench`` detected a performance regression against the
   trailing history baseline (suppressed by ``--report-only``).
+- ``130`` -- the run was interrupted (SIGINT *or* SIGTERM; the one-shot
+  commands route both through the same wave-boundary checkpoint logic,
+  so with ``--checkpoint-dir`` the partial work is resumable with
+  ``--resume``).
+
+``repro serve`` runs the validation service: a crash-tolerant daemon
+accepting enumerate/validate/campaign jobs over HTTP/JSON with a durable
+job journal, bounded-queue admission control (429 + ``Retry-After``
+under saturation), content-addressed job dedup, per-job SSE progress
+streams, and graceful SIGTERM drain.  See :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -103,6 +113,7 @@ from repro.resilience import (
     CheckpointError,
     CheckpointStore,
     atomic_write_text,
+    install_term_to_interrupt,
 )
 from repro.tour import IndexedTourGenerator, TourGenerator, arc_coverage
 
@@ -115,6 +126,7 @@ EXIT_USAGE = 2
 EXIT_INVARIANT_VIOLATION = 3
 EXIT_BUDGET_TRUNCATED = 4
 EXIT_PERF_REGRESSION = 5
+EXIT_INTERRUPTED = 130  # 128 + SIGINT, the shell convention
 
 
 def _model_config(args) -> PPModelConfig:
@@ -711,6 +723,32 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.resilience import RetryPolicy
+    from repro.serve import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            state_dir=args.state_dir,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            memory_budget_mb=args.memory_budget,
+            execution=args.execution,
+            job_timeout=args.job_timeout,
+            retry=RetryPolicy(max_retries=args.retries,
+                              backoff_seconds=args.retry_backoff),
+            degrade_inline=not args.no_degrade,
+            cache_dir=args.cache_dir,
+            port_file=args.port_file,
+        )
+    except ValueError as exc:
+        print(f"bad serve configuration: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    return run_server(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -827,6 +865,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="list registered benchmarks and exit")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("serve",
+                       help="run the validation service: a crash-tolerant "
+                            "HTTP/JSON job daemon")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (0 picks a free port; see --port-file)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port here (for --port 0)")
+    p.add_argument("--state-dir", default=".repro-serve",
+                   help="durable daemon state: job journal, per-job "
+                        "results / heartbeats / checkpoints")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job slots (each job runs in its own "
+                        "child process)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="queue depth bound; beyond it submissions are shed "
+                        "with 429 + Retry-After")
+    p.add_argument("--memory-budget", type=float, default=None,
+                   metavar="MB",
+                   help="shed new submissions while daemon RSS exceeds "
+                        "this many megabytes")
+    p.add_argument("--execution", choices=("process", "inline"),
+                   default="process",
+                   help="job isolation: forked child per attempt (default) "
+                        "or in-daemon threads")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill a job attempt running longer than this "
+                        "(then retry policy applies)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="attempts after a crashed job before degrading")
+    p.add_argument("--retry-backoff", type=float, default=0.2,
+                   metavar="SECONDS", help="base exponential backoff delay")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="fail jobs whose retries are exhausted instead of "
+                        "degrading to in-daemon execution")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact cache shared with the one-shot CLI "
+                        "(default: STATE_DIR/cache)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 
@@ -836,8 +915,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     _configure_logging(args)
     if getattr(args, "limit", None) == 0:
         args.limit = None
+    # One-shot commands treat `kill` like Ctrl-C: SIGTERM becomes
+    # KeyboardInterrupt, checkpoints land at wave boundaries, and the
+    # exit path below points at --resume.  The daemon is exempt -- it
+    # owns SIGTERM for graceful drain.
+    if args.func is not cmd_serve:
+        install_term_to_interrupt()
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        checkpoint_dir = getattr(args, "checkpoint_dir", None)
+        hint = (f"; resume with --resume --checkpoint-dir {checkpoint_dir}"
+                if checkpoint_dir else "")
+        print(f"interrupted{hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except InvariantViolation as exc:
         # The abstract model is broken on a reachable state; no validation
         # verdict built on it can be trusted, hence a dedicated exit code.

@@ -46,10 +46,29 @@ or fails to unpickle -- is **quarantined**: the pickle is renamed to
 ``<key>.corrupt`` (preserving the evidence for debugging), a WARNING is
 logged, and the load reports a miss so the caller rebuilds.  A poisoned
 cache entry therefore costs one rebuild, never a wrong answer.
+
+Single-flight builds
+--------------------
+Two processes missing on the same key used to both build (~minutes of
+duplicated work) and race their stores.  :meth:`ArtifactCache.single_flight`
+is a cross-process per-key build lock -- an ``flock(2)`` on
+``<key>.lock`` -- with the standard double-checked protocol: miss, take
+the lock, *re-check* the cache (the previous holder may have stored
+while we waited), build only if still absent.  ``flock`` locks die with
+their holder, so a SIGKILLed builder can never wedge the key; a
+*stale lock file* left behind is broken (unlinked and re-acquired) once
+it exceeds ``stale_after`` without a live flock holder.  The
+``repro serve`` daemon, concurrent CLI runs, and parallel campaigns all
+share this one mutex rather than owning their own.
+
+:meth:`store` also bumps a per-key ``<key>.builds`` counter file, so a
+test (or an operator) can assert "N concurrent identical submissions
+triggered exactly one build" from the filesystem alone.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -59,7 +78,12 @@ import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
+
+try:  # POSIX; the lock degrades to a no-op elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
 
 from repro.resilience.atomic import atomic_write_text
 
@@ -147,6 +171,109 @@ class ArtifactCache:
 
     def quarantine_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.corrupt"
+
+    def lock_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.lock"
+
+    def builds_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.builds"
+
+    # -- single-flight build locking -----------------------------------------
+
+    @contextlib.contextmanager
+    def single_flight(
+        self,
+        key: str,
+        poll_interval: float = 0.05,
+        stale_after: float = 600.0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[bool]:
+        """Cross-process per-key build lock; yields ``waited``.
+
+        Acquires an exclusive ``flock`` on ``<key>.lock``, blocking (in
+        ``poll_interval`` steps, so the process stays signal-responsive)
+        while another process holds it.  Yields ``True`` when the lock
+        was contended -- the caller should re-check the cache before
+        building, because the previous holder probably stored the entry.
+
+        Stale-lock breaking: a lock *file* whose mtime is older than
+        ``stale_after`` and whose flock can be taken immediately is the
+        debris of a dead builder; it is unlinked and the acquire loop
+        re-opens a fresh inode (``flock`` itself dies with its holder,
+        so this only tidies the directory -- it can never steal a live
+        lock).  ``timeout`` bounds the total wait (``TimeoutError``);
+        ``None`` waits forever.  On platforms without ``fcntl`` the lock
+        degrades to a no-op -- single-process correctness is unaffected.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            yield False
+            return
+        path = self.lock_path(key)
+        started = time.monotonic()
+        waited = False
+        handle = open(path, "a+")
+        try:
+            while True:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    # Guard against the unlink race: if another waiter
+                    # broke the lock file after we opened it, our flock is
+                    # on an orphaned inode no one else can see.  Re-open
+                    # and try again on the live path.
+                    try:
+                        if os.fstat(handle.fileno()).st_ino != path.stat().st_ino:
+                            raise OSError("lock file replaced under us")
+                    except OSError:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                        handle.close()
+                        handle = open(path, "a+")
+                        continue
+                    # Holders refresh the mtime so a *live* long build is
+                    # never mistaken for debris by other waiters.
+                    os.utime(path)
+                    break
+                except OSError:
+                    waited = True
+                if timeout is not None and time.monotonic() - started > timeout:
+                    raise TimeoutError(
+                        f"single-flight lock on {key[:12]} not acquired "
+                        f"within {timeout}s"
+                    )
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    age = 0.0
+                if age > stale_after:
+                    # Nobody holds the flock (we just failed on *some*
+                    # inode -- retry against a fresh one) yet the file is
+                    # ancient: break it and loop.
+                    logger.warning(
+                        "breaking stale single-flight lock for %s "
+                        "(age %.0fs > %.0fs)", key[:12], age, stale_after,
+                    )
+                    with contextlib.suppress(OSError):
+                        os.unlink(path)
+                    handle.close()
+                    handle = open(path, "a+")
+                    continue
+                time.sleep(poll_interval)
+            if waited:
+                logger.debug(
+                    "single-flight: waited %.3fs for %s",
+                    time.monotonic() - started, key[:12],
+                )
+            yield waited
+        finally:
+            with contextlib.suppress(OSError):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    def build_count(self, key: str) -> int:
+        """How many times ``store`` ran for ``key`` (0 if never)."""
+        try:
+            return int(self.builds_path(key).read_text().strip() or 0)
+        except (OSError, ValueError):
+            return 0
 
     # -- operations ----------------------------------------------------------
 
@@ -251,6 +378,10 @@ class ArtifactCache:
             self.manifest_path(key),
             json.dumps(full_manifest, indent=2, sort_keys=True, default=repr),
         )
+        # Build-count bookkeeping for the single-flight protocol: under
+        # the per-key lock this is an exact "how many times was this
+        # entry actually built" counter that chaos tests assert on.
+        atomic_write_text(self.builds_path(key), f"{self.build_count(key) + 1}\n")
         logger.debug(
             "cache store for %s (%d bytes in %.3fs)",
             key[:12], len(blob), time.perf_counter() - started,
@@ -263,7 +394,8 @@ class ArtifactCache:
         if not self.cache_dir.is_dir():
             return removed
         for path in self.cache_dir.iterdir():
-            if path.suffix in (".pkl", ".json", ".tmp", ".corrupt"):
+            if path.suffix in (".pkl", ".json", ".tmp", ".corrupt", ".lock",
+                               ".builds"):
                 try:
                     path.unlink()
                 except OSError:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import logging
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -209,6 +210,7 @@ class ValidationPipeline:
 
         with obs.span("pipeline.build", jobs=jobs or 0):
             cache = ArtifactCache(cache_dir) if cache_dir else None
+            lock = nullcontext(False)
             if cache is not None:
                 self.cache_key = self._cache_key()
                 if use_cache and not resume:
@@ -224,74 +226,101 @@ class ValidationPipeline:
                     obs.inc("cache.misses")
                     obs.event("cache.miss", key=self.cache_key)
                     logger.info("artifact cache miss (%s)", self.cache_key[:12])
-
-            with obs.span("phase.model_build"):
-                model = self.control.build()
-            with obs.span("phase.enumerate", jobs=jobs or 0):
-                if jobs is None or jobs > 1:
-                    graph, stats = enumerate_states_parallel(
-                        model, jobs=jobs,
-                        record_all_conditions=self.record_all_conditions,
-                        obs=obs,
-                        checkpoint=checkpoint,
-                        resume=resume,
-                        budget=self.budget,
-                        retry=self.retry,
-                        faults=faults,
-                        kernel=self.kernel,
-                    )
-                else:
-                    graph, stats = enumerate_states(
-                        model,
-                        record_all_conditions=self.record_all_conditions,
-                        obs=obs,
-                        checkpoint=checkpoint,
-                        resume=resume,
-                        budget=self.budget,
-                        faults=faults,
-                        kernel=self.kernel,
-                    )
-            if stats.truncated:
-                logger.warning(
-                    "enumeration truncated by budget (%s): building tours/"
-                    "vectors over the partial graph; result will not be cached",
-                    stats.budget_outcome,
+                # Single-flight: only one process builds a given key at a
+                # time; concurrent missers block on the per-key flock and
+                # (usually) find the entry stored when they get it.
+                lock = cache.single_flight(self.cache_key)
+            with lock as waited:
+                if waited and use_cache and not resume:
+                    obs.inc("cache.single_flight_waits")
+                    with obs.span("phase.cache_load"):
+                        cached = cache.load(self.cache_key)
+                    if cached is not None:
+                        obs.inc("cache.hits")
+                        obs.event("cache.hit", key=self.cache_key,
+                                  single_flight=True)
+                        logger.info(
+                            "artifact cache hit after single-flight wait (%s)",
+                            self.cache_key[:12],
+                        )
+                        self._artifacts = cached
+                        self.artifacts_from_cache = True
+                        return cached
+                return self._build_locked(
+                    cache, jobs, resume, faults, checkpoint, obs
                 )
-            # One transition-event memo spans both back-half phases: the
-            # tour cost function touches every arc, so vector generation
-            # finds it fully warm and replays no transition twice.
-            memo = TransitionEventMemo(self.control, graph)
-            with obs.span("phase.tours"):
-                cost = pp_instruction_cost(self.control, graph, memo=memo)
-                tours = IndexedTourGenerator(
-                    graph,
-                    instruction_cost=cost,
-                    max_instructions_per_trace=self.max_instructions_per_trace,
-                ).generate(obs=obs)
-            with obs.span("phase.vectors", jobs=jobs or 0):
-                traces = VectorGenerator(
-                    self.control, graph, seed=self.seed, memo=memo
-                ).generate(list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1))
-            self._artifacts = PipelineArtifacts(
-                graph=graph, enumeration=stats, tours=tours, traces=traces
+
+    def _build_locked(
+        self, cache, jobs, resume, faults, checkpoint, obs
+    ) -> PipelineArtifacts:
+        """Steps 1-3 proper, run under the single-flight lock on a miss."""
+        with obs.span("phase.model_build"):
+            model = self.control.build()
+        with obs.span("phase.enumerate", jobs=jobs or 0):
+            if jobs is None or jobs > 1:
+                graph, stats = enumerate_states_parallel(
+                    model, jobs=jobs,
+                    record_all_conditions=self.record_all_conditions,
+                    obs=obs,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                    budget=self.budget,
+                    retry=self.retry,
+                    faults=faults,
+                    kernel=self.kernel,
+                )
+            else:
+                graph, stats = enumerate_states(
+                    model,
+                    record_all_conditions=self.record_all_conditions,
+                    obs=obs,
+                    checkpoint=checkpoint,
+                    resume=resume,
+                    budget=self.budget,
+                    faults=faults,
+                    kernel=self.kernel,
+                )
+        if stats.truncated:
+            logger.warning(
+                "enumeration truncated by budget (%s): building tours/"
+                "vectors over the partial graph; result will not be cached",
+                stats.budget_outcome,
             )
-            self.artifacts_from_cache = False
-            if cache is not None and not stats.truncated:
-                with obs.span("phase.cache_store"):
-                    cache.store(
-                        self.cache_key,
-                        self._artifacts,
-                        manifest={
-                            "model_config": self.model_config,
-                            "record_all_conditions": self.record_all_conditions,
-                            "max_instructions_per_trace": self.max_instructions_per_trace,
-                            "seed": self.seed,
-                            "num_states": graph.num_states,
-                            "num_edges": graph.num_edges,
-                            "num_traces": traces.num_traces,
-                        },
-                    )
-                obs.inc("cache.stores")
+        # One transition-event memo spans both back-half phases: the
+        # tour cost function touches every arc, so vector generation
+        # finds it fully warm and replays no transition twice.
+        memo = TransitionEventMemo(self.control, graph)
+        with obs.span("phase.tours"):
+            cost = pp_instruction_cost(self.control, graph, memo=memo)
+            tours = IndexedTourGenerator(
+                graph,
+                instruction_cost=cost,
+                max_instructions_per_trace=self.max_instructions_per_trace,
+            ).generate(obs=obs)
+        with obs.span("phase.vectors", jobs=jobs or 0):
+            traces = VectorGenerator(
+                self.control, graph, seed=self.seed, memo=memo
+            ).generate(list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1))
+        self._artifacts = PipelineArtifacts(
+            graph=graph, enumeration=stats, tours=tours, traces=traces
+        )
+        self.artifacts_from_cache = False
+        if cache is not None and not stats.truncated:
+            with obs.span("phase.cache_store"):
+                cache.store(
+                    self.cache_key,
+                    self._artifacts,
+                    manifest={
+                        "model_config": self.model_config,
+                        "record_all_conditions": self.record_all_conditions,
+                        "max_instructions_per_trace": self.max_instructions_per_trace,
+                        "seed": self.seed,
+                        "num_states": graph.num_states,
+                        "num_edges": graph.num_edges,
+                        "num_traces": traces.num_traces,
+                    },
+                )
+            obs.inc("cache.stores")
         return self._artifacts
 
     @property

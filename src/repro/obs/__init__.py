@@ -56,6 +56,7 @@ from repro.obs.progress import (
     ProgressReporter,
     read_heartbeats,
     stderr_if_tty,
+    tail_heartbeats,
     validate_heartbeats,
 )
 from repro.obs.report import RUN_REPORT_SCHEMA, RunReport, validate_run_report
@@ -91,6 +92,7 @@ __all__ = [
     "HEARTBEAT_SCHEMA",
     "ProgressReporter",
     "read_heartbeats",
+    "tail_heartbeats",
     "stderr_if_tty",
     "validate_heartbeats",
     "RUN_REPORT_SCHEMA",

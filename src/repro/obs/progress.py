@@ -43,7 +43,7 @@ import json
 import os
 import sys
 import time
-from typing import Any, Dict, IO, Iterable, List, Mapping, Optional
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Tuple
 
 #: Heartbeat line format version.
 HEARTBEAT_SCHEMA = "repro.heartbeat/1"
@@ -167,6 +167,43 @@ def stderr_if_tty() -> Optional[IO[str]]:
         return sys.stderr if sys.stderr.isatty() else None
     except (AttributeError, ValueError):  # pragma: no cover
         return None
+
+
+def tail_heartbeats(path: str, offset: int = 0) -> "Tuple[List[Dict[str, Any]], int]":
+    """Incrementally read heartbeat records appended past ``offset``.
+
+    The consumption mode of a live follower (the ``repro serve`` SSE
+    endpoint): call repeatedly with the returned offset to stream only
+    new records.  Only *complete* lines are consumed -- a partially
+    flushed tail stays unread until its newline lands -- and a file that
+    shrank below the offset (a retried job truncates and rewrites its
+    heartbeat log) resets the cursor to the start so no restart goes
+    unobserved.  A missing file is simply "nothing yet".
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return records, 0
+    if size < offset:
+        offset = 0
+    if size == offset:
+        return records, offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read()
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return records, offset
+    for line in chunk[: end + 1].splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue  # torn line mid-file: skip, keep streaming
+    return records, offset + end + 1
 
 
 def read_heartbeats(path: str) -> List[Dict[str, Any]]:

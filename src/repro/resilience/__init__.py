@@ -36,6 +36,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.faults import FaultPlan, corrupt_file
 from repro.resilience.retry import RetryPolicy
+from repro.resilience.signals import install_term_to_interrupt, restore_term_handler
 
 __all__ = [
     "atomic_write_bytes",
@@ -52,4 +53,6 @@ __all__ = [
     "FaultPlan",
     "corrupt_file",
     "RetryPolicy",
+    "install_term_to_interrupt",
+    "restore_term_handler",
 ]

@@ -47,6 +47,14 @@ class FaultPlan:
     #: Deliver SIGINT to the coordinator once this many waves completed
     #: (fires after that boundary's checkpoint, if any, is written).
     sigint_after_wave: Optional[int] = None
+    #: Same, but SIGTERM -- a scripted ``kill``.  Only meaningful when a
+    #: handler is installed (see :mod:`repro.resilience.signals`); the
+    #: default disposition would terminate the process outright.
+    sigterm_after_wave: Optional[int] = None
+    #: Sleep this long at every wave boundary.  The serve chaos tests use
+    #: it to stretch an otherwise-fast enumeration so a daemon can be
+    #: killed deterministically *mid-job*, with checkpoints on disk.
+    slow_every_wave: float = 0.0
 
     def worker_hook(self, wave: int, shard: int, attempt: int) -> None:
         """Run inside a pool worker at the start of shard expansion."""
@@ -57,6 +65,8 @@ class FaultPlan:
 
     def boundary_hook(self, waves_completed: int) -> None:
         """Run by the coordinator after each wave boundary's bookkeeping."""
+        if self.slow_every_wave > 0.0:
+            time.sleep(self.slow_every_wave)
         if self.sigint_after_wave == waves_completed:
             if threading.current_thread() is threading.main_thread():
                 # A real signal: exercises the interpreter's KeyboardInterrupt
@@ -64,6 +74,10 @@ class FaultPlan:
                 os.kill(os.getpid(), signal.SIGINT)
             else:  # pragma: no cover - signal semantics need the main thread
                 raise KeyboardInterrupt
+        if self.sigterm_after_wave == waves_completed:
+            # A real kill: only survivable with the SIGTERM-to-interrupt
+            # handler installed, which is exactly what the test asserts.
+            os.kill(os.getpid(), signal.SIGTERM)
 
 
 def corrupt_file(

@@ -1,0 +1,230 @@
+"""The durable job journal: every state transition, fsync'd, replayable.
+
+The daemon's job table is an in-memory dict; the journal is its write-
+ahead log.  Every transition -- submitted, started, completed, failed,
+cancelled, requeued -- appends one JSON line to
+``<state_dir>/journal.jsonl`` and **fsyncs** before the transition takes
+effect anywhere a client can observe it.  A daemon killed with SIGKILL
+therefore restarts by folding the journal back into the job table
+(:func:`replay_journal`): ``done`` jobs keep their results, ``queued``
+jobs re-enter the queue, and jobs that were ``running`` at the kill are
+requeued *resumable* -- their enumeration checkpoints are on disk, so
+the retry continues from the last wave instead of starting over, and the
+final artifacts byte-compare equal to an uninterrupted run.
+
+Journal schema (``repro.job-journal/1``)
+----------------------------------------
+One JSON object per line::
+
+    {"schema": "repro.job-journal/1",
+     "seq": <monotone line counter, int>,
+     "ts": <seconds since the Unix epoch, float>,
+     "event": <transition name, str>,
+     "job_id": <job id, str, or null for daemon-level events>,
+     ...event-specific fields}
+
+Events: ``submitted`` (carries the full job payload), ``started``
+(attempt, worker_pid, mode), ``completed`` (result summary), ``failed``
+(error), ``cancelled``, ``requeued`` (reason: retry | drain | recovery),
+``degraded``, and the daemon-level ``serve_start`` / ``drain_begin`` /
+``drain_complete`` / ``recovered``.
+
+Torn tails are expected, not fatal: a crash can land mid-append, so
+:func:`read_journal` drops an unparseable *final* line (and only the
+final line -- corruption anywhere else is reported loudly by
+:func:`validate_journal`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.serve.jobs import Job
+
+#: Journal line format version.
+JOURNAL_SCHEMA = "repro.job-journal/1"
+
+#: Event names a journal may contain.
+JOURNAL_EVENTS = (
+    "submitted", "started", "completed", "failed", "cancelled",
+    "requeued", "degraded",
+    "serve_start", "drain_begin", "drain_complete", "recovered",
+)
+
+
+class JobJournal:
+    """Append-only, fsync'd JSONL journal of job state transitions."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Resume the seq counter past any existing lines so a restarted
+        # daemon keeps the monotone ordering replay depends on.
+        records, _ = read_journal(self.path)
+        self.seq = (records[-1]["seq"] + 1) if records else 0
+        self._file = open(self.path, "a")
+
+    def append(self, event: str, job_id: Optional[str] = None,
+               **fields: Any) -> Dict[str, Any]:
+        """Durably append one transition; returns the written record."""
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "seq": self.seq,
+            "ts": time.time(),
+            "event": event,
+            "job_id": job_id,
+        }
+        record.update(fields)
+        self.seq += 1
+        self._file.write(json.dumps(record, default=repr) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        return record
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_journal(path) -> Tuple[List[Dict[str, Any]], int]:
+    """Load journal records; returns ``(records, dropped_tail_lines)``.
+
+    A torn final line (crash mid-append) is dropped and counted; torn
+    lines anywhere *else* are kept as ``{"_corrupt": raw}`` markers so
+    :func:`validate_journal` can flag them.
+    """
+    records: List[Dict[str, Any]] = []
+    dropped = 0
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError:
+        return records, dropped
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if index == len(lines) - 1:
+                dropped += 1
+            else:
+                records.append({"_corrupt": line})
+    return records, dropped
+
+
+def validate_journal(records: Iterable[Mapping[str, Any]]) -> List[str]:
+    """Structural validation of a journal; returns the list of problems."""
+    problems: List[str] = []
+    last_seq = None
+    for index, record in enumerate(records):
+        if "_corrupt" in record:
+            problems.append(f"line {index}: unparseable (mid-file corruption)")
+            continue
+        if record.get("schema") != JOURNAL_SCHEMA:
+            problems.append(
+                f"line {index}: schema {record.get('schema')!r} != "
+                f"{JOURNAL_SCHEMA!r}"
+            )
+        if record.get("event") not in JOURNAL_EVENTS:
+            problems.append(f"line {index}: unknown event {record.get('event')!r}")
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            problems.append(f"line {index}: bad seq {seq!r}")
+        elif last_seq is not None and seq <= last_seq:
+            problems.append(f"line {index}: seq {seq} not increasing")
+        if isinstance(seq, int):
+            last_seq = seq
+        if not isinstance(record.get("ts"), (int, float)):
+            problems.append(f"line {index}: bad ts {record.get('ts')!r}")
+        if record.get("event") == "submitted" and not isinstance(
+            record.get("job"), dict
+        ):
+            problems.append(f"line {index}: submitted without a job payload")
+    return problems
+
+
+def replay_journal(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[str, Job]:
+    """Fold a journal back into the job table.
+
+    Pure state-machine fold -- no filesystem access.  The caller decides
+    what to do with the result (the daemon requeues ``queued`` jobs and
+    marks interrupted ``running`` jobs resumable).
+    """
+    jobs: Dict[str, Job] = {}
+    for record in records:
+        if "_corrupt" in record:
+            continue
+        event = record.get("event")
+        job_id = record.get("job_id")
+        if event == "submitted" and isinstance(record.get("job"), dict):
+            doc = record["job"]
+            jobs[doc["id"]] = Job(
+                id=doc["id"],
+                kind=doc["kind"],
+                params=doc["params"],
+                priority=doc.get("priority", 0),
+                budget=doc.get("budget"),
+                submitted_at=doc.get("submitted_at", record.get("ts", 0.0)),
+            )
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            continue
+        if event == "started":
+            job.state = "running"
+            job.attempts = record.get("attempt", job.attempts + 1)
+            job.worker_pid = record.get("worker_pid")
+            if job.dequeued_at is None:
+                job.dequeued_at = record.get("dequeued_at", record.get("ts"))
+        elif event == "completed":
+            job.state = "done"
+            job.finished_at = record.get("ts")
+            job.worker_pid = None
+            if isinstance(record.get("result"), dict):
+                job.result = record["result"]
+        elif event == "failed":
+            job.state = "failed"
+            job.finished_at = record.get("ts")
+            job.worker_pid = None
+            job.error = record.get("error")
+        elif event == "cancelled":
+            job.state = "cancelled"
+            job.finished_at = record.get("ts")
+        elif event == "requeued":
+            job.state = "queued"
+            job.worker_pid = None
+            job.resumable = bool(record.get("resumable", True))
+        elif event == "degraded":
+            job.degraded = True
+    return jobs
+
+
+def recover_jobs(jobs: Dict[str, Job]) -> List[Job]:
+    """Post-replay fixup: interrupted ``running`` jobs become resumable.
+
+    Returns the jobs that must re-enter the queue (recovered runners
+    first -- they were admitted earliest -- then still-queued jobs).
+    """
+    requeue: List[Job] = []
+    for job in jobs.values():
+        if job.state == "running":
+            # The daemon died under this job: its child is gone (orphaned
+            # children die with the daemon's process group or finish
+            # without anyone to collect the result -- either way the
+            # attempt is void), but its checkpoints survive.
+            job.state = "queued"
+            job.worker_pid = None
+            job.resumable = True
+            requeue.append(job)
+        elif job.state == "queued":
+            requeue.append(job)
+    requeue.sort(key=lambda j: (-j.priority, j.submitted_at))
+    return requeue

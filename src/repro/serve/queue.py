@@ -1,0 +1,121 @@
+"""Bounded priority queue with admission control (shed, don't drown).
+
+The daemon's first robustness rule: a saturated service says *no*
+quickly (HTTP 429 + ``Retry-After``) instead of accepting work it cannot
+finish and growing its queue -- and eventually its RSS -- without bound.
+:class:`AdmissionQueue` enforces a hard ``max_pending`` depth; the
+server maps :class:`QueueFull` to 429 and computes ``Retry-After`` from
+the queue's own observed service times (trailing-average job duration x
+queue depth / workers), so the hint clients get is grounded in what the
+daemon is actually sustaining.
+
+Ordering is ``(-priority, submission order)``: higher priority first,
+FIFO within a priority band.  All access happens on the daemon's single
+event loop, so the structure is deliberately lock-free; workers block on
+an :class:`asyncio.Event` that every push sets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+from collections import deque
+from typing import Deque, List, Optional, Set, Tuple
+
+from repro.serve.jobs import Job
+
+
+class QueueFull(Exception):
+    """Admission refused: the queue is at ``max_pending``."""
+
+    def __init__(self, pending: int, retry_after: int):
+        super().__init__(
+            f"queue full ({pending} pending); retry after ~{retry_after}s"
+        )
+        self.pending = pending
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """Priority queue with a hard depth bound and a service-time estimate."""
+
+    def __init__(self, max_pending: int = 64):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._heap: List[Tuple[int, int, str]] = []
+        self._jobs: dict = {}
+        self._cancelled: Set[str] = set()
+        self._seq = 0
+        self._event = asyncio.Event()
+        #: Trailing job durations (seconds) feeding the Retry-After hint.
+        self.durations: Deque[float] = deque(maxlen=32)
+        self.shed_count = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    # -- admission -----------------------------------------------------------
+
+    def retry_after(self, workers: int = 1) -> int:
+        """Seconds a shed client should wait: depth x avg duration / workers."""
+        avg = (sum(self.durations) / len(self.durations)) if self.durations else 2.0
+        estimate = (len(self._jobs) + 1) * avg / max(1, workers)
+        return max(1, min(600, math.ceil(estimate)))
+
+    def push(self, job: Job, workers: int = 1, force: bool = False) -> int:
+        """Admit ``job`` (returns queue position) or raise :class:`QueueFull`.
+
+        ``force`` bypasses the depth bound -- used only for journal
+        recovery, where shedding previously-admitted work would break
+        the durability contract.
+        """
+        if not force and len(self._jobs) >= self.max_pending:
+            self.shed_count += 1
+            raise QueueFull(len(self._jobs), self.retry_after(workers))
+        self._cancelled.discard(job.id)
+        self._jobs[job.id] = job
+        heapq.heappush(self._heap, (-job.priority, self._seq, job.id))
+        self._seq += 1
+        self._event.set()
+        return len(self._jobs)
+
+    # -- consumption ---------------------------------------------------------
+
+    def pop_ready(self) -> Optional[Job]:
+        """The highest-priority pending job, or ``None`` when empty."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.pop(job_id, None)
+            if job is not None and job_id not in self._cancelled:
+                if not self._jobs:
+                    self._event.clear()
+                return job
+        self._event.clear()
+        return None
+
+    async def get(self) -> Job:
+        """Wait until a job is available and return it."""
+        while True:
+            job = self.pop_ready()
+            if job is not None:
+                return job
+            await self._event.wait()
+
+    def cancel(self, job_id: str) -> bool:
+        """Remove a still-queued job; returns whether it was pending."""
+        if job_id in self._jobs:
+            del self._jobs[job_id]
+            self._cancelled.add(job_id)
+            return True
+        return False
+
+    def record_duration(self, seconds: float) -> None:
+        self.durations.append(max(0.0, seconds))
+
+    def pending_ids(self) -> List[str]:
+        return list(self._jobs)

@@ -1,0 +1,51 @@
+"""Server-Sent Events: stream a job's heartbeat channel to HTTP clients.
+
+``GET /jobs/<id>/events`` replays exactly the substrate PR 6 built: the
+job runner's :class:`~repro.obs.progress.ProgressReporter` writes
+``repro.heartbeat/1`` JSONL to a per-job file; this module tails that
+file (:func:`repro.obs.progress.tail_heartbeats`) and forwards each
+record as one SSE ``heartbeat`` event.  The stream is framed by
+``state`` events (the job document on attach and on every state change)
+and ends with a ``done`` event when the job reaches a terminal state --
+or a ``drain`` event when the daemon is shutting down, so no client is
+left hanging on a socket the server is about to close.
+
+SSE needs no client library (``curl -N`` renders it) and no protocol
+state on the server beyond a file offset, which is what makes it the
+right fit for a crash-tolerant daemon: a reconnecting client simply
+re-attaches and the tail resumes from the start of the (durable) file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+#: Media type of an SSE response.
+SSE_CONTENT_TYPE = "text/event-stream"
+
+#: How often the streamer polls the heartbeat file and the job state.
+POLL_INTERVAL = 0.1
+
+
+def format_event(event: str, data: Dict[str, Any]) -> bytes:
+    """One SSE frame: ``event:`` + single-line ``data:`` + blank line."""
+    payload = json.dumps(data, default=repr)
+    return f"event: {event}\ndata: {payload}\n\n".encode()
+
+
+def parse_sse(text: str):
+    """Parse an SSE byte stream back into ``(event, data)`` pairs.
+
+    Test/CI helper -- the inverse of :func:`format_event` for the frames
+    this server emits (single-line ``data:``).
+    """
+    frames = []
+    event = None
+    for line in text.splitlines():
+        if line.startswith("event:"):
+            event = line.split(":", 1)[1].strip()
+        elif line.startswith("data:") and event is not None:
+            frames.append((event, json.loads(line.split(":", 1)[1].strip())))
+            event = None
+    return frames

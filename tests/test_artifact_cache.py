@@ -151,3 +151,127 @@ class TestPipelineCaching:
         assert [r.cycles for r in parallel.results] == [
             r.cycles for r in sequential.results
         ]
+
+
+class TestSingleFlight:
+    """flock-based per-key build locking: N racers, exactly one build."""
+
+    def test_uncontended_lock_does_not_wait(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        with cache.single_flight("s" * 64) as waited:
+            assert waited is False
+        # Released: an immediate re-acquire sees no contention.  (The
+        # lock *file* stays behind as cheap debris; prune() removes it.)
+        with cache.single_flight("s" * 64) as waited:
+            assert waited is False
+        assert cache.prune() >= 0
+        assert not cache.lock_path("s" * 64).exists()
+
+    def test_build_counter_tracks_stores(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.build_count("c" * 64) == 0
+        cache.store("c" * 64, [1], manifest={})
+        assert cache.build_count("c" * 64) == 1
+        cache.store("c" * 64, [2], manifest={})
+        assert cache.build_count("c" * 64) == 2
+
+    def test_second_holder_waits_and_learns_it_waited(self, tmp_path):
+        import threading
+        import time
+
+        cache = ArtifactCache(tmp_path)
+        key = "w" * 64
+        order = []
+        first_in = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with cache.single_flight(key) as waited:
+                order.append(("holder", waited))
+                first_in.set()
+                release.wait(timeout=10)
+
+        def waiter():
+            first_in.wait(timeout=10)
+            with cache.single_flight(key, poll_interval=0.01) as waited:
+                order.append(("waiter", waited))
+
+        threads = [threading.Thread(target=holder),
+                   threading.Thread(target=waiter)]
+        threads[0].start()
+        threads[1].start()
+        first_in.wait(timeout=10)
+        time.sleep(0.05)  # let the waiter reach the poll loop
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert order == [("holder", False), ("waiter", True)]
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+        import time
+
+        cache = ArtifactCache(tmp_path)
+        key = "z" * 64
+        cache.lock_path(key).write_text("")
+        old = time.time() - 3600
+        os.utime(cache.lock_path(key), (old, old))
+        # An abandoned lock (holder SIGKILLed an hour ago, nothing
+        # holding the flock) must not wedge every future build.
+        with cache.single_flight(key, stale_after=600.0) as waited:
+            assert waited is False
+
+    def test_lock_timeout_raises(self, tmp_path):
+        import threading
+
+        cache = ArtifactCache(tmp_path)
+        key = "t" * 64
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with cache.single_flight(key):
+                acquired.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        acquired.wait(timeout=10)
+        try:
+            with pytest.raises(TimeoutError):
+                with cache.single_flight(key, poll_interval=0.01, timeout=0.1):
+                    pass
+        finally:
+            release.set()
+            thread.join(timeout=10)
+
+    def test_concurrent_pipelines_build_exactly_once(self, tmp_path):
+        """ISSUE acceptance: N concurrent identical builds, one real build."""
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(4)
+        processes = [
+            context.Process(
+                target=_racing_build, args=(str(tmp_path), barrier)
+            )
+            for _ in range(4)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=180)
+            assert process.exitcode == 0
+        cache = ArtifactCache(tmp_path)
+        key = artifact_key(
+            SMALL["model_config"],
+            max_instructions_per_trace=SMALL["max_instructions_per_trace"],
+        )
+        assert cache.has(key)
+        assert cache.build_count(key) == 1
+
+
+def _racing_build(cache_dir, barrier):
+    barrier.wait(timeout=60)
+    pipeline = ValidationPipeline(cache_dir=cache_dir, **SMALL)
+    pipeline.build()

@@ -615,3 +615,110 @@ class TestCliResilience:
         payload = json.loads(metrics.read_text())
         assert payload["resilience"]["truncated"]
         assert payload["resilience"]["budget_outcome"] == "max_states"
+
+
+# ---------------------------------------------------------------------------
+# SIGTERM routing: `kill` behaves exactly like Ctrl-C
+# ---------------------------------------------------------------------------
+
+
+class TestSigtermRouting:
+    """Both interruption signals land in the same checkpoint/resume path."""
+
+    @pytest.mark.parametrize("plan", [
+        FaultPlan(sigint_after_wave=3),
+        FaultPlan(sigterm_after_wave=3),
+    ], ids=["sigint", "sigterm"])
+    def test_both_signals_checkpoint_then_resume_bit_identical(
+        self, tmp_path, golden_json, plan
+    ):
+        from repro.resilience import (
+            install_term_to_interrupt,
+            restore_term_handler,
+        )
+
+        previous = install_term_to_interrupt()
+        checkpoint = CheckpointConfig(tmp_path, every_waves=1)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                enumerate_states(
+                    small_model(), checkpoint=checkpoint, faults=plan,
+                )
+        finally:
+            restore_term_handler(previous)
+        assert checkpoint.store.latest() == "wave000003"
+        graph, stats = enumerate_states(
+            small_model(), checkpoint=checkpoint, resume=True,
+        )
+        assert graph.to_json() == golden_json
+        assert stats.resumed
+
+    def test_install_returns_previous_handler(self):
+        import signal as signal_module
+
+        from repro.resilience import (
+            install_term_to_interrupt,
+            restore_term_handler,
+        )
+
+        before = signal_module.getsignal(signal_module.SIGTERM)
+        previous = install_term_to_interrupt()
+        assert signal_module.getsignal(signal_module.SIGTERM) is not before
+        restore_term_handler(previous)
+        assert signal_module.getsignal(signal_module.SIGTERM) is before
+
+    def test_install_from_worker_thread_is_a_safe_noop(self):
+        from repro.resilience import install_term_to_interrupt
+
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(install_term_to_interrupt())
+        )
+        thread.start()
+        thread.join()
+        assert results == [None]
+
+
+class TestCliSigterm:
+    """`kill <pid>` of a one-shot command exits 130 with a resume hint."""
+
+    def _run_cli(self, tmp_path, extra_args, inject_sigterm):
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "import repro.cli as cli\n"
+            "from repro.resilience import FaultPlan\n"
+            "real = cli.enumerate_states\n"
+            "def patched(model, **kw):\n"
+            "    kw.setdefault('faults', FaultPlan(sigterm_after_wave=3))\n"
+            "    return real(model, **kw)\n"
+        )
+        if inject_sigterm:
+            script += "cli.enumerate_states = patched\n"
+        script += "sys.exit(cli.main(sys.argv[1:]))\n"
+        env = dict(os.environ)
+        root = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(root)
+        return subprocess.run(
+            [sys.executable, "-c", script, "enumerate", "--fill-words", "1",
+             "--jobs", "1", "--checkpoint-dir", str(tmp_path / "ckpt"),
+             *extra_args],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+
+    def test_sigterm_exit_130_then_cli_resume_bit_identical(
+        self, tmp_path, golden_json
+    ):
+        interrupted = self._run_cli(tmp_path, [], inject_sigterm=True)
+        assert interrupted.returncode == 130, interrupted.stderr
+        assert "interrupted" in interrupted.stderr
+        assert "--resume" in interrupted.stderr
+        graph_out = tmp_path / "resumed.graph.json"
+        resumed = self._run_cli(
+            tmp_path, ["--resume", "--graph-out", str(graph_out)],
+            inject_sigterm=False,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert graph_out.read_text() == golden_json
