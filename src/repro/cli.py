@@ -106,7 +106,7 @@ from repro.obs import (
     resolve,
     stderr_if_tty,
 )
-from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.pp.fsm_model import PPModelConfig, build_pp_control_model
 from repro.resilience import (
     Budget,
     CheckpointConfig,
@@ -129,18 +129,59 @@ EXIT_PERF_REGRESSION = 5
 EXIT_INTERRUPTED = 130  # 128 + SIGINT, the shell convention
 
 
+#: Named model scales.  ``pp-full`` is the paper-scale control model
+#: (~205K states vs the paper's 229,571); ``pp-default`` is the fast
+#: development scale every command uses unless told otherwise.
+MODEL_PRESETS = {
+    "pp-default": PPModelConfig(fill_words=2),
+    "pp-full": PPModelConfig.full(),
+}
+
+
 def _model_config(args) -> PPModelConfig:
+    base = MODEL_PRESETS[getattr(args, "config", None) or "pp-default"]
     return PPModelConfig(
-        fill_words=args.fill_words,
-        extra_pipe_stages=args.extra_pipe_stages,
+        fill_words=(args.fill_words if args.fill_words is not None
+                    else base.fill_words),
+        extra_pipe_stages=(args.extra_pipe_stages
+                           if args.extra_pipe_stages is not None
+                           else base.extra_pipe_stages),
+        spill_words=(args.spill_words if args.spill_words is not None
+                     else base.spill_words),
+        model_branches=bool(getattr(args, "branches", False)
+                            or base.model_branches),
     )
 
 
+def _model_config_dict(args) -> dict:
+    cfg = _model_config(args)
+    return {
+        "config": getattr(args, "config", None) or "pp-default",
+        "fill_words": cfg.fill_words,
+        "extra_pipe_stages": cfg.extra_pipe_stages,
+        "spill_words": cfg.spill_words,
+        "model_branches": cfg.model_branches,
+    }
+
+
 def _add_model_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--fill-words", type=int, default=2,
-                        help="refill line length in word deliveries")
-    parser.add_argument("--extra-pipe-stages", type=int, default=0,
-                        help="trailing write-back stages tracked by control")
+    parser.add_argument("--config", choices=sorted(MODEL_PRESETS),
+                        default=None,
+                        help="named model scale: 'pp-default' (fast, "
+                             "2,135 states) or 'pp-full' (paper scale, "
+                             "~205K states); individual flags below "
+                             "override preset fields")
+    parser.add_argument("--fill-words", type=int, default=None,
+                        help="refill line length in word deliveries "
+                             "(default 2)")
+    parser.add_argument("--extra-pipe-stages", type=int, default=None,
+                        help="trailing write-back stages tracked by control "
+                             "(default 0)")
+    parser.add_argument("--spill-words", type=int, default=None,
+                        help="spill-buffer depth modelled during write-back "
+                             "delivery (default 1 = not modelled)")
+    parser.add_argument("--branches", action="store_true",
+                        help="track branch-kill state in the control model")
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -379,7 +420,7 @@ def cmd_enumerate(args) -> int:
     budget = _budget(args)
     with obs.span("cli.enumerate"):
         with obs.span("phase.model_build"):
-            model = PPControlModel(_model_config(args)).build()
+            model = build_pp_control_model(_model_config(args))
         with obs.span("phase.enumerate", jobs=jobs or 0):
             if jobs is None or jobs > 1:
                 graph, stats = enumerate_states_parallel(
@@ -403,8 +444,7 @@ def cmd_enumerate(args) -> int:
     if observer is not None:
         run_report = RunReport.from_observer(
             "enumerate", observer,
-            config={"fill_words": args.fill_words,
-                    "extra_pipe_stages": args.extra_pipe_stages,
+            config={**_model_config_dict(args),
                     "jobs": args.jobs, "kernel": args.kernel},
             enumeration=dataclasses.asdict(stats),
         )
@@ -417,7 +457,7 @@ def cmd_tours(args) -> int:
         with open(args.graph) as handle:
             graph = StateGraph.from_json(handle.read())
     else:
-        model = PPControlModel(_model_config(args)).build()
+        model = build_pp_control_model(_model_config(args))
         graph, _ = enumerate_states(model)
     generator_cls = (
         TourGenerator if args.generator == "reference" else IndexedTourGenerator
@@ -481,8 +521,7 @@ def cmd_validate(args) -> int:
             observer=observer,
             artifacts=pipeline.artifacts,
             command="validate",
-            config={"fill_words": args.fill_words,
-                    "extra_pipe_stages": args.extra_pipe_stages,
+            config={**_model_config_dict(args),
                     "limit": args.limit, "seed": args.seed,
                     "jobs": args.jobs, "kernel": args.kernel,
                     "bugs": args.bug or []},
@@ -529,8 +568,7 @@ def cmd_campaign(args) -> int:
             observer=observer,
             pipeline=campaign.pipeline,
             command="campaign",
-            config={"fill_words": args.fill_words,
-                    "extra_pipe_stages": args.extra_pipe_stages,
+            config={**_model_config_dict(args),
                     "limit": args.limit, "seed": args.seed,
                     "jobs": args.jobs, "kernel": args.kernel},
             cache=campaign.pipeline.cache_info,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import logging
 import os
+import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -12,12 +13,14 @@ from repro.core.cache import ArtifactCache, artifact_key
 from repro.enumeration import (
     EnumerationStats,
     StateGraph,
+    WorkerPool,
     enumerate_states,
     enumerate_states_parallel,
+    make_worker_pool,
 )
 from repro.harness.compare import ComparisonResult, run_vector_traces
 from repro.obs.observer import Observer, resolve
-from repro.pp.fsm_model import PPControlModel, PPModelConfig
+from repro.pp.fsm_model import PPModelConfig, pp_control_model
 from repro.pp.rtl.core import CoreConfig
 from repro.resilience import Budget, CheckpointConfig, RetryPolicy
 from repro.tour import IndexedTourGenerator, TourSet
@@ -133,7 +136,8 @@ class ValidationPipeline:
         self.budget = budget
         self.retry = retry
         self.kernel = kernel
-        self.control = PPControlModel(self.model_config)
+        self.control = pp_control_model(self.model_config)
+        self._pool: Optional[WorkerPool] = None
         self._artifacts: Optional[PipelineArtifacts] = None
         #: True when the last :meth:`build` was served from the cache.
         self.artifacts_from_cache = False
@@ -167,6 +171,34 @@ class ValidationPipeline:
             "degraded": stats.degraded,
             "checkpoint_dir": self.checkpoint_dir,
         }
+
+    def worker_pool(self, jobs: Optional[int]) -> Optional[WorkerPool]:
+        """The pipeline-wide persistent :class:`WorkerPool` (lazily built).
+
+        One pool serves enumeration, vector generation *and* trace
+        comparison, so workers are forked once per pipeline rather than
+        once per phase (or per BFS wave).  ``None`` when the effective
+        job count keeps everything in-process.  The pool is rebuilt only
+        if the job count changes; a finalizer reaps the workers when the
+        pipeline itself is garbage collected.
+        """
+        effective = (os.cpu_count() or 1) if jobs is None else jobs
+        if effective <= 1:
+            return None
+        pool = self._pool
+        if pool is not None and pool.jobs == effective and not pool.closed:
+            return pool
+        if pool is not None:
+            pool.shutdown()
+        pool = make_worker_pool(effective, retry=self.retry, obs=self.obs)
+        self._pool = pool
+        weakref.finalize(self, WorkerPool.shutdown, pool)
+        return pool
+
+    def shutdown(self) -> None:
+        """Release the pipeline's worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
 
     def _cache_key(self) -> str:
         return artifact_key(
@@ -268,6 +300,7 @@ class ValidationPipeline:
                     retry=self.retry,
                     faults=faults,
                     kernel=self.kernel,
+                    pool=self.worker_pool(jobs),
                 )
             else:
                 graph, stats = enumerate_states(
@@ -300,7 +333,10 @@ class ValidationPipeline:
         with obs.span("phase.vectors", jobs=jobs or 0):
             traces = VectorGenerator(
                 self.control, graph, seed=self.seed, memo=memo
-            ).generate(list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1))
+            ).generate(
+                list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1),
+                pool=self.worker_pool(jobs),
+            )
         self._artifacts = PipelineArtifacts(
             graph=graph, enumeration=stats, tours=tours, traces=traces
         )
@@ -352,6 +388,7 @@ class ValidationPipeline:
                 jobs=jobs,
                 stop_on_divergence=stop_on_divergence,
                 obs=self.obs,
+                pool=self.worker_pool(jobs),
             )
         return ValidationReport(
             config=config,

@@ -14,7 +14,9 @@ from repro.enumeration.kernel import (
     resolve_kernel,
 )
 from repro.enumeration.bfs import enumerate_states, EnumerationError, InvariantViolation
-from repro.enumeration.parallel import enumerate_states_parallel
+from repro.enumeration.frontier import FrontierCodec, SharedFrontier
+from repro.enumeration.parallel import enumerate_states_parallel, make_worker_pool
+from repro.enumeration.pool import WorkerPool
 from repro.enumeration.stats import EnumerationStats
 from repro.enumeration.analysis import (
     GraphProfile,
@@ -37,8 +39,12 @@ __all__ = [
     "to_dot",
     "StateGraph",
     "Edge",
+    "FrontierCodec",
+    "SharedFrontier",
+    "WorkerPool",
     "enumerate_states",
     "enumerate_states_parallel",
+    "make_worker_pool",
     "EnumerationError",
     "InvariantViolation",
     "EnumerationStats",

@@ -1,0 +1,188 @@
+"""Shared-memory, array-packed wave frontiers for parallel enumeration.
+
+State keys are already fixed-width bit-packed integers
+(:class:`~repro.smurphi.state.StateCodec` assigns every declared variable
+a bit-field), so a BFS wave does not need to travel to the workers as a
+pickled Python list of arbitrary-precision ints.  This module packs a
+wave into a flat little-endian ``uint64`` word array inside one
+``multiprocessing.shared_memory`` segment:
+
+- the **coordinator** writes the wave once (:meth:`SharedFrontier.create`)
+  and hands workers only ``(segment name, span start, span stop)`` --
+  a few dozen bytes per dispatch regardless of wave size;
+- **workers** attach the segment read-only, decode just their span
+  (:meth:`SharedFrontier.keys`), and detach;
+- the coordinator **unlinks** the segment at the wave boundary (and on
+  retire/degrade paths), so a wave can never outlive its run.
+
+States wider than 64 bits use ``words_per_state = ceil(bits / 64)``
+little-endian words per key; the packing is pure arithmetic, so
+pack -> shared memory -> unpack round-trips byte-identically to the
+list-of-ints path at any declared width (property-tested in
+``tests/test_frontier.py``).
+
+Resource-tracker note: CPython registers *every* ``SharedMemory``
+attachment (not just creation) with the ``resource_tracker``.  Our
+workers are fork children, so they inherit the coordinator's tracker
+process; the tracker's cache is a set, which makes each worker's
+attach-registration a duplicate no-op against the coordinator's
+create-registration.  Workers must therefore *not* unregister on detach
+-- the tracker holds exactly one entry per segment, removed by the
+coordinator's ``unlink``, and that single entry is exactly the leak
+protection we want if the coordinator itself dies.
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import shared_memory
+from typing import Iterable, List, Optional, Sequence
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+class FrontierCodec:
+    """Fixed-width packing of state keys into 64-bit word arrays.
+
+    One codec per model: ``total_bits`` is the model's declared state
+    width (:meth:`SyncModel.state_bits`), which determines how many
+    64-bit words carry one key.
+    """
+
+    def __init__(self, total_bits: int):
+        if total_bits < 1:
+            raise ValueError("total_bits must be >= 1")
+        self.total_bits = int(total_bits)
+        self.words_per_state = -(-self.total_bits // _WORD_BITS)
+
+    def pack_keys(self, keys: Iterable[int]) -> array:
+        """Pack keys into a flat ``array('Q')``, little-endian word order."""
+        buf = array("Q")
+        if self.words_per_state == 1:
+            buf.extend(keys)
+            return buf
+        wps = self.words_per_state
+        for key in keys:
+            for _ in range(wps):
+                buf.append(key & _WORD_MASK)
+                key >>= _WORD_BITS
+        return buf
+
+    def unpack_keys(
+        self, words: Sequence[int], start: int = 0, count: Optional[int] = None
+    ) -> List[int]:
+        """Decode ``count`` keys beginning at state index ``start``.
+
+        ``words`` is any flat uint64 sequence (an ``array('Q')``, a
+        ``memoryview().cast("Q")`` over shared memory, ...).
+        """
+        wps = self.words_per_state
+        if count is None:
+            count = len(words) // wps - start
+        if wps == 1:
+            return list(words[start:start + count])
+        out: List[int] = []
+        base = start * wps
+        for _ in range(count):
+            key = 0
+            for w in range(wps):
+                key |= words[base + w] << (_WORD_BITS * w)
+            out.append(key)
+            base += wps
+        return out
+
+    def append_key(self, buf: array, key: int) -> None:
+        """Append one key to a flat word buffer (worker result path)."""
+        if self.words_per_state == 1:
+            buf.append(key)
+            return
+        for _ in range(self.words_per_state):
+            buf.append(key & _WORD_MASK)
+            key >>= _WORD_BITS
+
+
+class SharedFrontier:
+    """One wave of packed state keys in a shared-memory segment.
+
+    The coordinator :meth:`create`\\ s (and later :meth:`unlink`\\ s) the
+    segment; workers :meth:`attach` by name, read their span, and
+    :meth:`close`.  Lifetime is strictly one wave: the coordinator holds
+    the only owning reference and unlinks at the wave boundary or on any
+    retire/degrade path, so killed workers cannot leak segments.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        codec: FrontierCodec,
+        count: int,
+        owner: bool,
+    ):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.codec = codec
+        self.count = count
+        self.owner = owner
+
+    @property
+    def name(self) -> str:
+        assert self._shm is not None
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed frontier payload (not segment granularity)."""
+        return self.count * self.codec.words_per_state * 8
+
+    @classmethod
+    def create(cls, keys: Sequence[int], codec: FrontierCodec) -> "SharedFrontier":
+        packed = codec.pack_keys(keys)
+        payload = packed.tobytes()
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        shm.buf[:len(payload)] = payload
+        return cls(shm, codec, len(keys), owner=True)
+
+    @classmethod
+    def attach(cls, name: str, codec: FrontierCodec, count: int) -> "SharedFrontier":
+        # Attaching re-registers the segment with the (fork-shared)
+        # resource tracker; that is a set-duplicate no-op, so no
+        # worker-side unregister -- see the module docstring.
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, codec, count, owner=False)
+
+    def keys(self, start: int = 0, count: Optional[int] = None) -> List[int]:
+        """Decode a span of state keys out of the segment."""
+        assert self._shm is not None
+        if count is None:
+            count = self.count - start
+        if count <= 0:
+            return []
+        words = self._shm.buf.cast("Q")
+        try:
+            return self.codec.unpack_keys(words, start, count)
+        finally:
+            words.release()
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers; owner before unlink)."""
+        shm = self._shm
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); safe to call repeatedly."""
+        shm, self._shm = self._shm, None
+        if shm is None or not self.owner:
+            return
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -107,7 +107,9 @@ class CompiledKernel:
         self.codec = CompiledStateCodec(model.state_vars)
         self.tables = ChoiceTables(model)
         self._next_state = model._next_state
-        self._memo: Optional[Dict[int, Tuple[Transition, ...]]] = {} if memo else None
+        self._memo: Optional[Dict[int, Tuple[int, Tuple[Transition, ...]]]] = (
+            {} if memo else None
+        )
         self.memo_hits = 0
         self.expansions = 0
         self.sampled_validations = 0
@@ -126,16 +128,32 @@ class CompiledKernel:
         return self.codec.unpack(key)
 
     def expand(self, key: int) -> Tuple[Transition, ...]:
+        return self.expand_masked(key)[1]
+
+    def expand_masked(self, key: int) -> Tuple[int, Tuple[Transition, ...]]:
+        """Expand ``key``; also return its guard signature as a bitmask.
+
+        The mask (bit ``i`` = guard ``i`` of ``tables.guards`` fired) plus
+        the successor keys fully determine the expansion: any process
+        holding an equivalent kernel can recover the condition tuples from
+        ``tables.table(signature)``, which is what lets parallel workers
+        ship one integer instead of pickled per-transition conditions.
+        """
         memo = self._memo
         if memo is not None:
-            row = memo.get(key)
-            if row is not None:
+            hit = memo.get(key)
+            if hit is not None:
                 self.memo_hits += 1
-                return row
+                return hit
         codec = self.codec
         state = codec.unpack(key)
         tables = self.tables
-        table = tables.table(tables.signature(state))
+        sig = tables.signature(state)
+        mask = 0
+        for i, bit in enumerate(sig):
+            if bit:
+                mask |= 1 << i
+        table = tables.table(sig)
         pack = codec.pack
         if self.strict or not self._first_sight_done:
             # Exhaustive validation: the very first state expanded (any
@@ -173,9 +191,10 @@ class CompiledKernel:
             self._validation_tick = tick
             row = tuple(out)
         self.expansions += 1
+        result = (mask, row)
         if memo is not None:
-            memo[key] = row
-        return row
+            memo[key] = result
+        return result
 
     def counters(self) -> Dict[str, int]:
         """Monotonic counters for delta-flushing into an observer."""

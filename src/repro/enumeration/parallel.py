@@ -8,40 +8,64 @@ parallel -- each state's successor set depends only on that state -- while
 the *bookkeeping* (interning states to dense ids, recording arcs, checking
 invariants) is cheap and order-sensitive.  So the engine here splits the two:
 
-- **Workers** receive batches of packed state keys, expand them with
-  ``model.step`` over every active choice combination, and return, per
-  source state, the ordered list of ``(condition, packed_successor)`` pairs.
+- **Workers** receive spans of packed state keys, expand them with the
+  inherited kernel, and return packed successor buffers.
 - **The coordinator** keeps the canonical BFS order: it processes one
   frontier *wave* at a time (all states discovered during the previous
   wave, in discovery order), shards the wave across the pool, and replays
   the results in (source id, choice order) -- exactly the order the
   sequential enumerator would have observed them.
 
+Dispatch strategy (the perf substrate)
+--------------------------------------
+Workers come from a persistent :class:`~repro.enumeration.pool.WorkerPool`
+shared across waves and (when the pipeline passes one in) across phases,
+so pool spin-up is paid once per model context rather than per call.  Per
+wave the coordinator picks the cheapest dispatch that is still correct:
+
+- **In-process** below :data:`DISPATCH_MIN_STATES` frontier states: tiny
+  waves (every model's first few waves, and small models entirely) are
+  expanded directly by the coordinator -- the round-trip would cost more
+  than the work, and this is what makes small models *never* regress.
+- **Packed shared-memory spans** (compiled kernels): the wave's keys are
+  bit-packed into one ``multiprocessing.shared_memory`` segment
+  (:class:`~repro.enumeration.frontier.SharedFrontier`); each worker gets
+  ``(segment, start, stop)`` -- a few dozen bytes -- decodes its span,
+  and returns a packed ``uint64`` successor buffer plus one guard-mask
+  word per state.  The coordinator recovers the condition tuples from
+  its own kernel's choice tables (mask -> signature -> table), so **no
+  condition tuple and no successor list is ever pickled**.
+- **Pickled shards** (interpreted kernels, chaos fault plans): the
+  original list-of-ints path, kept as the fully-general fallback and as
+  the stable target surface for the fault-injection chaos suite.
+
 Determinism guarantee
 ---------------------
 Sequential BFS pops states in strictly increasing id order (the frontier is
 FIFO and ids are assigned at discovery).  Wave-synchronous processing
-preserves that order, and shard results are always assembled in submission
-order, so state ids, edge order, recorded conditions, the ``max_states``
-cap and the first :class:`InvariantViolation` are all **identical** to the
-sequential path -- in both ``record_all_conditions`` modes, and regardless
-of how many times a shard had to be retried (expansion is a pure function
-of the model).  The golden tests in ``tests/test_parallel_enumeration.py``
-and the chaos suite in ``tests/test_resilience.py`` lock this down by
-comparing byte-identical :meth:`StateGraph.to_json` serializations.
+preserves that order, and span/shard results are always replayed in
+submission order, so state ids, edge order, recorded conditions, the
+``max_states`` cap and the first :class:`InvariantViolation` are all
+**identical** to the sequential path -- in both ``record_all_conditions``
+modes, at every job count, under every dispatch strategy above, and
+regardless of how many times a span had to be retried (expansion is a pure
+function of the model).  The golden tests in
+``tests/test_parallel_enumeration.py`` and the chaos suite in
+``tests/test_resilience.py`` lock this down by comparing byte-identical
+:meth:`StateGraph.to_json` serializations.
 
 Worker-crash recovery
 ---------------------
-Shards are submitted to a :class:`concurrent.futures.ProcessPoolExecutor`
-and collected with a per-shard timeout, so a dead worker (detected
-immediately via ``BrokenProcessPool``) or a wedged one (detected by the
-timeout) can never hang the coordinator.  Every failure event retires the
-pool, sleeps an exponential backoff
-(:class:`~repro.resilience.RetryPolicy`), respawns a fresh pool and
-resubmits the wave's not-yet-collected shards.  A shard that keeps failing
-past the retry budget tips the run into *degraded mode*: the coordinator
-expands the remaining shards and waves in-process -- slower, but it cannot
-crash-loop, and results are identical.
+Recovery lives in :class:`~repro.enumeration.pool.WorkerPool` (it predates
+the pool and kept its exact semantics): a dead worker
+(``BrokenProcessPool``), a wedged one (no completion within the retry
+policy's shard timeout) or a torn result pipe retires the worker
+generation, sleeps an exponential backoff, re-forks and resubmits the
+wave's uncollected spans.  Past the retry budget the pool *degrades*:
+everything runs in-process -- slower, but it cannot crash-loop, and
+results are identical.  Shared-memory segments are owned and unlinked by
+the coordinator at wave boundaries (including every failure path), so
+killed workers cannot leak them.
 
 Checkpoint / resume / budgets mirror the sequential engine: snapshots are
 written at wave boundaries (:class:`~repro.resilience.CheckpointConfig`),
@@ -53,22 +77,22 @@ Process model
 -------------
 Models hold closures (choice guards, ``next_state``) that do not pickle, so
 workers get the model by *fork inheritance*: the coordinator publishes it
-in a module global before creating the pool and forked children inherit the
-parent's memory image.  On platforms without the ``fork`` start method the
-engine transparently falls back to the sequential enumerator -- correctness
-never depends on parallelism being available.
+in a module global before the pool forks and children inherit the parent's
+memory image -- including the ready-built compiled kernel, so choice-table
+and codec construction happen once per run, not per worker.  On platforms
+without the ``fork`` start method the engine transparently falls back to
+the sequential enumerator -- correctness never depends on parallelism
+being available.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import logging
 import multiprocessing
 import os
 import time
+from array import array
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.enumeration.bfs import (
@@ -78,6 +102,7 @@ from repro.enumeration.bfs import (
     enumerate_states,
     rebuild_seen_arcs,
 )
+from repro.enumeration.frontier import FrontierCodec, SharedFrontier
 from repro.enumeration.graph import StateGraph
 from repro.enumeration.kernel import (
     Kernel,
@@ -85,6 +110,7 @@ from repro.enumeration.kernel import (
     flush_kernel_metrics,
     resolve_kernel,
 )
+from repro.enumeration.pool import WorkerPool, in_worker
 from repro.enumeration.stats import EnumerationStats
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer, resolve
@@ -101,6 +127,17 @@ from repro.smurphi.model import SyncModel
 
 logger = logging.getLogger("repro.enumeration")
 
+#: Frontier size below which the coordinator expands in-process instead of
+#: dispatching to workers.  Calibrated so the round-trip (even a packed
+#: one) is always amortized by a few thousand expansions, while the golden
+#: test models' larger waves still exercise the dispatch paths.
+DISPATCH_MIN_STATES = 192
+
+#: Minimum frontier states per packed span: spans this size keep every
+#: round-trip worth thousands of transitions while still oversplitting
+#: large waves (up to jobs*4 spans) so a skewed span cannot stall a wave.
+_MIN_SPAN_STATES = 64
+
 #: Model published by the coordinator immediately before the pool forks;
 #: worker processes inherit it (closures and all) without pickling.
 _WORKER_MODEL: Optional[SyncModel] = None
@@ -114,26 +151,6 @@ _WORKER_KERNEL: Optional[Kernel] = None
 _WORKER_COLLECT: bool = False
 #: Fault plan inherited by workers (chaos testing only; None in production).
 _WORKER_FAULTS: Optional[FaultPlan] = None
-#: True only inside forked pool workers; gates worker-targeted faults so
-#: degraded in-process expansion can never kill the coordinator.
-_IN_WORKER: bool = False
-
-#: Exceptions that mean "the shard did not come back, retry it" -- a dead
-#: worker (BrokenProcessPool, raised immediately), a wedged one (timeout),
-#: or a torn result pipe.  Anything else is a genuine error and propagates.
-_SHARD_FAILURES = (
-    BrokenProcessPool,
-    concurrent.futures.TimeoutError,
-    TimeoutError,
-    EOFError,
-    OSError,
-)
-
-
-def _init_worker() -> None:
-    """Per-worker setup: mark the process so worker-only faults can fire."""
-    global _IN_WORKER
-    _IN_WORKER = True
 
 
 def _expand_batch(
@@ -150,11 +167,14 @@ def _expand_batch(
     :class:`~repro.obs.metrics.MetricsRegistry` snapshot (per-shard timing
     and counts, labeled by worker pid) for the coordinator to merge.
 
-    Also the degraded-mode workhorse: the coordinator calls it in-process
-    when the retry budget is spent (fault hooks stay inert there).
+    This is the fully-general expansion job: the pickled-shard dispatch
+    path for interpreted kernels and fault plans, the in-process path for
+    small waves, and the degraded-mode workhorse (fault hooks stay inert
+    outside real workers, so degraded expansion can never kill the
+    coordinator).
     """
     global _WORKER_KERNEL
-    if _IN_WORKER and _WORKER_FAULTS is not None:
+    if in_worker() and _WORKER_FAULTS is not None:
         _WORKER_FAULTS.worker_hook(wave, shard, attempt)
     started = time.perf_counter()
     if _WORKER_KERNEL is None:
@@ -172,11 +192,77 @@ def _expand_batch(
     registry.observe(
         "enum.shard.seconds", time.perf_counter() - started, worker=worker
     )
-    for name, value in kern.counters().items():
-        delta = value - kernel_before.get(name, 0)
-        if delta:
-            registry.inc(f"enum.kernel.{name}", delta, worker=worker)
+    # Kernel deltas only from real workers: in-process runs share the
+    # coordinator's kernel object, whose advance the final
+    # flush_kernel_metrics already reports -- counting both would break
+    # the expansions == num_states identity.
+    if in_worker():
+        for name, value in kern.counters().items():
+            delta = value - kernel_before.get(name, 0)
+            if delta:
+                registry.inc(f"enum.kernel.{name}", delta, worker=worker)
     return rows, registry.snapshot()
+
+
+def _expand_shard(payload: Tuple[List[int], int, int], attempt: int = 0):
+    """Pool task wrapper for the pickled-shard path: payload + attempt."""
+    packed_keys, wave, shard = payload
+    return _expand_batch(packed_keys, wave, shard, attempt)
+
+
+def _expand_span_packed(
+    payload: Tuple[str, int, int, int], attempt: int = 0
+) -> Tuple[array, array, Optional[Dict[str, Any]]]:
+    """Expand one span of a shared-memory packed frontier.
+
+    ``payload`` is ``(segment_name, total_states, start, stop)`` -- the
+    whole coordinator->worker message is these few dozen bytes.  Returns
+    ``(masks, successors, metrics)`` where ``masks`` holds one guard-
+    signature bitmask per source state (in span order) and ``successors``
+    is the flat packed key buffer of every transition in expansion order.
+    Mask plus successor count are fully redundant with the coordinator's
+    own choice tables, which is what lets this path ship zero condition
+    tuples.  Pure: safe to retry on a fresh worker generation.
+    """
+    name, total, start, stop = payload
+    started = time.perf_counter()
+    kern = _WORKER_KERNEL
+    assert kern is not None, "packed dispatch requires an inherited kernel"
+    fcodec = FrontierCodec(kern.codec.total_bits)
+    frontier = SharedFrontier.attach(name, fcodec, total)
+    try:
+        keys = frontier.keys(start, stop - start)
+    finally:
+        frontier.close()
+    kernel_before = kern.counters()
+    expand_masked = kern.expand_masked
+    append_key = fcodec.append_key
+    masks = array("Q")
+    succs = array("Q")
+    transitions = 0
+    for key in keys:
+        mask, row = expand_masked(key)
+        masks.append(mask)
+        transitions += len(row)
+        for _, dst in row:
+            append_key(succs, dst)
+    if not _WORKER_COLLECT:
+        return masks, succs, None
+    registry = MetricsRegistry()
+    worker = str(os.getpid())
+    registry.inc("enum.shard.states", len(keys), worker=worker)
+    registry.inc("enum.shard.transitions", transitions, worker=worker)
+    registry.observe(
+        "enum.shard.seconds", time.perf_counter() - started, worker=worker
+    )
+    # Same coordinator-vs-worker rule as _expand_batch: degraded
+    # in-process execution must not double-report the shared kernel.
+    if in_worker():
+        for cname, value in kern.counters().items():
+            delta = value - kernel_before.get(cname, 0)
+            if delta:
+                registry.inc(f"enum.kernel.{cname}", delta, worker=worker)
+    return masks, succs, registry.snapshot()
 
 
 def _shard(items: Sequence, num_shards: int) -> List[List]:
@@ -185,115 +271,29 @@ def _shard(items: Sequence, num_shards: int) -> List[List]:
     return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
-@dataclass
-class _RecoveryCounters:
-    """What the recovery machinery did during one run (flows into stats)."""
+def _span_bounds(count: int, jobs: int) -> List[Tuple[int, int]]:
+    """Adaptive packed-span layout: contiguous ``(start, stop)`` pairs.
 
-    shards_retried: int = 0
-    pool_respawns: int = 0
-    degraded: bool = False
+    Oversplits to ``jobs * 4`` spans for load balance, but never below
+    :data:`_MIN_SPAN_STATES` states per span so dispatch stays amortized.
+    """
+    num_spans = max(1, min(jobs * 4, count // _MIN_SPAN_STATES))
+    size = -(-count // num_spans)
+    return [(start, min(count, start + size)) for start in range(0, count, size)]
 
 
-class _ShardRunner:
-    """Owns the worker pool; expands one wave at a time with retry/respawn."""
+def make_worker_pool(
+    jobs: int,
+    retry: Optional[RetryPolicy] = None,
+    obs: Optional[Observer] = None,
+) -> WorkerPool:
+    """Build the pipeline-wide persistent :class:`WorkerPool`.
 
-    def __init__(self, ctx, jobs: int, policy: RetryPolicy,
-                 obs: Observer, counters: _RecoveryCounters):
-        self._ctx = ctx
-        self._jobs = jobs
-        self.policy = policy
-        self.obs = obs
-        self.counters = counters
-        self._executor: Optional[ProcessPoolExecutor] = None
-
-    def _executor_or_spawn(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._jobs,
-                mp_context=self._ctx,
-                initializer=_init_worker,
-            )
-        return self._executor
-
-    def shutdown(self) -> None:
-        """Retire the pool, killing any still-running (wedged) workers."""
-        executor, self._executor = self._executor, None
-        if executor is None:
-            return
-        try:
-            executor.shutdown(wait=False, cancel_futures=True)
-        except Exception:  # a broken pool can throw during teardown
-            pass
-        procs = list((getattr(executor, "_processes", None) or {}).values())
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-        for proc in procs:
-            proc.join(timeout=1.0)
-
-    def run_wave(self, shards: List[List[int]], wave_index: int) -> List[Tuple]:
-        """Expand every shard of one wave; returns results in shard order.
-
-        Never hangs (every wait is bounded by the policy's shard timeout)
-        and never returns partial waves: a shard either yields its rows --
-        from a worker or, after retry exhaustion, from in-process degraded
-        expansion -- or a genuine error propagates.
-        """
-        results: Dict[int, Tuple] = {}
-        retries = [0] * len(shards)
-        while len(results) < len(shards):
-            pending = [i for i in range(len(shards)) if i not in results]
-            failure: Optional[Tuple[int, BaseException]] = None
-            futures: Dict[int, concurrent.futures.Future] = {}
-            try:
-                executor = self._executor_or_spawn()
-                for i in pending:
-                    futures[i] = executor.submit(
-                        _expand_batch, shards[i], wave_index, i, retries[i]
-                    )
-                for i in pending:
-                    results[i] = futures[i].result(
-                        timeout=self.policy.shard_timeout
-                    )
-            except _SHARD_FAILURES as exc:
-                failed_at = next(
-                    i for i in range(len(shards)) if i not in results
-                )
-                failure = (failed_at, exc)
-            if failure is None:
-                break
-            index, exc = failure
-            # Whatever failed, the pool is suspect: retire it and re-run
-            # every not-yet-collected shard of the wave on a fresh one.
-            uncollected = [i for i in range(len(shards)) if i not in results]
-            for i in uncollected:
-                retries[i] += 1
-            self.counters.shards_retried += len(uncollected)
-            self.obs.inc("enum.shards_retried", len(uncollected))
-            self.shutdown()
-            worst = max(retries[i] for i in uncollected)
-            if worst > self.policy.max_retries:
-                self.counters.degraded = True
-                self.obs.inc("enum.degraded_waves")
-                logger.warning(
-                    "wave %d shard %d failed %d times (%s: %s); retry budget "
-                    "spent -- degrading to in-process expansion",
-                    wave_index, index, worst, type(exc).__name__, exc,
-                )
-                for i in uncollected:
-                    results[i] = _expand_batch(shards[i], wave_index, i, retries[i])
-                break
-            delay = self.policy.backoff(worst)
-            logger.warning(
-                "wave %d shard %d failed (%s: %s); respawning pool and "
-                "retrying %d shard(s) in %.2fs",
-                wave_index, index, type(exc).__name__, exc,
-                len(uncollected), delay,
-            )
-            time.sleep(delay)
-            self.counters.pool_respawns += 1
-            self.obs.inc("enum.pool_respawns")
-        return [results[i] for i in range(len(shards))]
+    The pool's executor factory resolves ``ProcessPoolExecutor`` through
+    this module, preserving the long-standing test seam that intercepts
+    pool creation by monkeypatching ``parallel.ProcessPoolExecutor``.
+    """
+    return WorkerPool(jobs, policy=retry, obs=obs)
 
 
 def enumerate_states_parallel(
@@ -309,6 +309,7 @@ def enumerate_states_parallel(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[FaultPlan] = None,
     kernel: KernelSpec = "compiled",
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[StateGraph, EnumerationStats]:
     """Enumerate ``model`` with ``jobs`` worker processes.
 
@@ -324,12 +325,19 @@ def enumerate_states_parallel(
     is the :class:`~repro.resilience.RetryPolicy` governing worker-crash
     recovery (timeouts, backoff, respawn, degradation).
 
+    ``pool`` accepts a shared persistent :class:`WorkerPool` (the pipeline
+    passes its phase-spanning pool); without one, the call owns a private
+    pool and shuts it down on return.  Either way workers are only ever
+    forked when a wave is actually dispatched, so small models pay no
+    spawn cost at all.
+
     ``obs`` receives the same coordinator-side counters as the sequential
     path (``enum.states`` / ``enum.transitions_explored`` / ``enum.edges``
     / ``enum.waves`` -- totals are identical for identical inputs,
     regardless of ``jobs``) plus merged worker-side shard metrics
-    (``enum.shard.*``, labeled by worker pid) and recovery counters
-    (``enum.shards_retried`` / ``enum.pool_respawns``).
+    (``enum.shard.*``, labeled by worker pid -- the coordinator's own pid
+    for in-process waves), recovery counters (``enum.shards_retried`` /
+    ``enum.pool_respawns``) and pool lifecycle counters (``enum.pool.*``).
 
     ``kernel`` selects the transition kernel exactly as on the sequential
     engine.  The coordinator resolves (compiles) the kernel once, before
@@ -338,7 +346,7 @@ def enumerate_states_parallel(
     """
     obs = resolve(obs)
     if jobs is None:
-        jobs = os.cpu_count() or 1
+        jobs = pool.jobs if pool is not None else (os.cpu_count() or 1)
     if jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
         return enumerate_states(
             model,
@@ -393,31 +401,104 @@ def enumerate_states_parallel(
         waves = 0
         resumed = False
 
-    ctx = multiprocessing.get_context("fork")
+    # Publish the fork-inherited worker globals BEFORE declaring the pool
+    # context: workers fork lazily at the first dispatch and must inherit
+    # exactly this state.
     _WORKER_MODEL = model
     _WORKER_KERNEL = kern
     _WORKER_COLLECT = obs.enabled
     _WORKER_FAULTS = faults
-    counters = _RecoveryCounters()
-    runner = _ShardRunner(ctx, jobs, retry or RetryPolicy(), obs, counters)
+    owned_pool = pool is None
+    if owned_pool:
+        pool = make_worker_pool(jobs, retry, obs)
+    else:
+        pool.obs = obs
+        if retry is not None:
+            pool.policy = retry
+    # The context tag is content-based (model digest), so back-to-back runs
+    # of equivalent models reuse the live worker generation -- warm kernel
+    # tables and memos, zero spawn cost.
+    pool.set_context(("enumerate", digest, obs.enabled))
+    if faults is not None:
+        # Fault plans are stateful and scripted per run: force a fresh
+        # worker generation that inherits exactly this plan.
+        pool.retire()
+    retried_before, respawns_before = pool.recovery_snapshot()
+
+    # Packed dispatch needs a compiled kernel (mask+table reconstruction)
+    # whose guard signature fits one 64-bit mask word; fault plans target
+    # (wave, shard, attempt) through the pickled-shard path, so chaos runs
+    # keep the legacy dispatch byte-for-byte.
+    packed_ok = (
+        faults is None
+        and hasattr(kern, "expand_masked")
+        and len(kern.tables.guards) <= 64
+    )
+    fcodec = FrontierCodec(kern.codec.total_bits) if packed_ok else None
+    mask_conditions: Dict[int, Tuple[Tuple, ...]] = {}
     frontier_remaining = 0
+
+    def conditions_for(mask: int) -> Tuple[Tuple, ...]:
+        conds = mask_conditions.get(mask)
+        if conds is None:
+            sig = tuple(
+                bool((mask >> i) & 1) for i in range(len(kern.tables.guards))
+            )
+            conds = tuple(cond for _, cond in kern.tables.table(sig))
+            mask_conditions[mask] = conds
+        return conds
+
     try:
         while wave:
             wave_started = time.perf_counter()
             keys = [graph.state_key(src) for src in wave]
-            # Oversplit so a skewed shard cannot stall the whole wave.
-            shards = _shard(keys, jobs * 4)
-            if counters.degraded:
-                shard_results = [
-                    _expand_batch(shard, waves, i, 0)
-                    for i, shard in enumerate(shards)
-                ]
-            else:
-                shard_results = runner.run_wave(shards, waves)
+            dispatch = pool.available and len(keys) >= DISPATCH_MIN_STATES
             rows: List[List[Tuple[Tuple, int]]] = []
-            for shard_rows, shard_metrics in shard_results:
-                rows.extend(shard_rows)
+            if faults is not None or (dispatch and not packed_ok):
+                # Oversplit so a skewed shard cannot stall the whole wave.
+                shards = _shard(keys, jobs * 4)
+                payloads = [(shard, waves, i) for i, shard in enumerate(shards)]
+                num_shards = len(shards)
+                for shard_rows, shard_metrics in pool.run_tasks(
+                    _expand_shard, payloads, timeout=pool.policy.shard_timeout
+                ):
+                    rows.extend(shard_rows)
+                    obs.merge(shard_metrics)
+            elif not dispatch:
+                # Below the dispatch threshold (or pool degraded): expand
+                # in-process as one coordinator-side shard.
+                shard_rows, shard_metrics = _expand_batch(keys, waves, 0, 0)
+                rows = shard_rows
                 obs.merge(shard_metrics)
+                num_shards = 1
+            else:
+                frontier = SharedFrontier.create(keys, fcodec)
+                try:
+                    spans = _span_bounds(len(keys), jobs)
+                    payloads = [
+                        (frontier.name, len(keys), start, stop)
+                        for start, stop in spans
+                    ]
+                    num_shards = len(spans)
+                    pool.note_dispatch(frontier.nbytes)
+                    span_results = pool.run_tasks(
+                        _expand_span_packed,
+                        payloads,
+                        timeout=pool.policy.shard_timeout,
+                    )
+                finally:
+                    # The coordinator owns the segment: unlink at the wave
+                    # boundary on every path (success, retry exhaustion,
+                    # genuine error), so killed workers cannot leak it.
+                    frontier.unlink()
+                for masks, succs, shard_metrics in span_results:
+                    obs.merge(shard_metrics)
+                    pos = 0
+                    for mask in masks:
+                        conds = conditions_for(mask)
+                        dsts = fcodec.unpack_keys(succs, pos, len(conds))
+                        rows.append(list(zip(conds, dsts)))
+                        pos += len(conds)
             next_wave: List[int] = []
             for src_id, row in zip(wave, rows):
                 for condition, packed_dst in row:
@@ -446,13 +527,13 @@ def enumerate_states_parallel(
                         graph.add_edge(src_id, dst_id, condition)
             obs.observe("enum.wave.frontier_states", len(wave))
             obs.event("enum.wave", wave=waves, frontier=len(wave),
-                      shards=len(shards), states=graph.num_states,
+                      shards=num_shards, states=graph.num_states,
                       transitions=transitions_explored,
                       seconds=time.perf_counter() - wave_started)
             obs.heartbeat("enumerate", wave=waves, frontier=len(wave),
                           states=graph.num_states,
                           transitions=transitions_explored,
-                          shards=len(shards))
+                          shards=num_shards)
             waves += 1
             wave = next_wave
             if not wave:
@@ -487,21 +568,26 @@ def enumerate_states_parallel(
             if faults is not None:
                 faults.boundary_hook(waves)
     finally:
-        runner.shutdown()
+        if owned_pool:
+            pool.shutdown()
+        elif faults is not None:
+            # Never let a fault-laden worker generation outlive its run.
+            pool.retire()
         _WORKER_MODEL = None
         _WORKER_COLLECT = False
         _WORKER_FAULTS = None
         _WORKER_KERNEL = None
 
     elapsed = time.perf_counter() - started
+    retried_after, respawns_after = pool.recovery_snapshot()
     obs.inc("enum.states", graph.num_states)
     obs.inc("enum.transitions_explored", transitions_explored)
     obs.inc("enum.edges", graph.num_edges)
     obs.inc("enum.waves", waves)
     obs.gauge("enum.bits_per_state", model.state_bits())
     obs.observe("enum.seconds", elapsed, mode="parallel")
-    # Coordinator-side kernel deltas (degraded-mode expansions land here;
-    # worker-side expansions arrive via the merged shard registries).
+    # Coordinator-side kernel deltas (in-process/degraded expansions land
+    # here; worker-side expansions arrive via the merged shard registries).
     flush_kernel_metrics(obs, kern, kernel_before)
     logger.info(
         "enumerated %s with %d workers: %d states, %d edges, "
@@ -522,8 +608,8 @@ def enumerate_states_parallel(
         frontier_remaining=frontier_remaining,
         resumed=resumed,
         checkpoints_written=checkpoints_written,
-        shards_retried=counters.shards_retried,
-        pool_respawns=counters.pool_respawns,
-        degraded=counters.degraded,
+        shards_retried=retried_after - retried_before,
+        pool_respawns=respawns_after - respawns_before,
+        degraded=pool.degraded,
     )
     return graph, stats

@@ -145,10 +145,15 @@ class ValidationCampaign:
         stop-on-detection semantics preserved.
         """
         jobs = self.jobs if jobs is None else jobs
+        # Reuse the pipeline's persistent worker pool: once it exists,
+        # its executor threads make forking a fresh legacy Pool from
+        # this process unsafe (fork-inherited held locks can deadlock
+        # the children), and the warm workers are faster anyway.
         results, diverging = run_vector_traces(
             self.traces, config=config, jobs=jobs,
             stop_on_divergence=stop_on_detection,
             obs=self.obs,
+            pool=self.pipeline.worker_pool(jobs),
         )
         traces = list(self.traces)
         instructions = sum(t.num_instructions for t in traces[: len(results)])

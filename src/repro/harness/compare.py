@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.enumeration.pool import WorkerPool
 from repro.obs.observer import Observer, resolve
 from repro.pp.isa import Instruction
 from repro.pp.rtl.core import BRANCH_OPCODES, CoreConfig, PPCore
@@ -145,6 +146,14 @@ def _run_indexed_trace_job(
     return index, run_vector_trace(trace, config=_TRACE_WORKER_CONFIG)
 
 
+def _trace_chunk_job(
+    payload: Sequence[Tuple[int, TestVectorTrace]], attempt: int = 0
+) -> List[Tuple[int, ComparisonResult]]:
+    """Pool task: one chunk of indexed traces, config fork-inherited
+    through :data:`_TRACE_WORKER_CONFIG` (pure -- safe to retry)."""
+    return [_run_indexed_trace_job(item) for item in payload]
+
+
 def _record_result(obs: Observer, index: int, result: ComparisonResult) -> None:
     """Per-trace comparison metrics (coordinator side, both modes)."""
     obs.inc("compare.traces_run")
@@ -165,6 +174,7 @@ def run_vector_traces(
     stop_on_divergence: bool = True,
     obs: Optional[Observer] = None,
     chunksize: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[List[ComparisonResult], List[int]]:
     """Run many traces; return ``(results, diverging_indices)`` in trace order.
 
@@ -186,6 +196,14 @@ def run_vector_traces(
     ``compare.*`` counters, ``compare.workers``/``compare.chunksize``
     gauges, a ``compare.seconds`` sample, and a ``compare.divergence``
     event (with the divergence site) for every diverging trace.
+
+    ``pool`` accepts the pipeline's persistent
+    :class:`~repro.enumeration.pool.WorkerPool`: workers then come from
+    (or are re-forked into) the shared pool -- the config is published
+    for fork inheritance instead of pickled per spawn -- and dead-worker
+    recovery applies (chunks are pure, so retries are safe).  The
+    sequential contract above is unchanged; a stop-on-divergence cut
+    retires the worker generation exactly like ``pool.terminate()`` did.
     """
     obs = resolve(obs)
     started = time.perf_counter()
@@ -226,6 +244,11 @@ def run_vector_traces(
     order = sorted(
         range(len(traces)), key=lambda i: (-traces[i].edges_traversed, i)
     )
+    if pool is not None:
+        return _run_with_pool(
+            traces, config, pool, order, chunksize,
+            stop_on_divergence, obs, started,
+        )
     ctx = multiprocessing.get_context("fork")
     pool = ctx.Pool(
         processes=workers,
@@ -267,5 +290,64 @@ def run_vector_traces(
         pool.terminate()
         pool.join()
         raise
+    obs.observe("compare.seconds", time.perf_counter() - started)
+    return results, diverging
+
+
+def _run_with_pool(
+    traces: List[TestVectorTrace],
+    config: CoreConfig,
+    pool: WorkerPool,
+    order: List[int],
+    chunksize: int,
+    stop_on_divergence: bool,
+    obs: Observer,
+    started: float,
+) -> Tuple[List[ComparisonResult], List[int]]:
+    """The persistent-pool comparison path (same contract, shared workers)."""
+    global _TRACE_WORKER_CONFIG
+    # Publish for fork inheritance BEFORE declaring the context: a tag
+    # change re-forks workers that inherit exactly this config; an equal
+    # tag means the live generation already holds an equal config.
+    _TRACE_WORKER_CONFIG = config
+    pool.obs = obs
+    pool.set_context(("compare", repr(config)))
+    indexed = [(i, traces[i]) for i in order]
+    chunks = [
+        indexed[i : i + chunksize] for i in range(0, len(indexed), chunksize)
+    ]
+    results: List[ComparisonResult] = []
+    diverging: List[int] = []
+    pending = {}
+    next_index = 0
+    stopped = False
+    workers = pool.jobs
+    # No timeout: simulation time is unbounded in trace length; dead
+    # workers still recover via BrokenProcessPool.
+    tasks = pool.imap_tasks(_trace_chunk_job, chunks)
+    try:
+        for _, chunk_result in tasks:
+            for index, result in chunk_result:
+                pending[index] = result
+            while not stopped and next_index in pending:
+                emitted = pending.pop(next_index)
+                results.append(emitted)
+                _record_result(obs, next_index, emitted)
+                obs.heartbeat("compare", traces=next_index + 1,
+                              total=len(traces), workers=workers,
+                              divergences=len(diverging) + bool(emitted.diverged))
+                if emitted.diverged:
+                    diverging.append(next_index)
+                    if stop_on_divergence:
+                        stopped = True  # in-flight later traces are dropped
+                next_index += 1
+            if stopped:
+                break
+    finally:
+        tasks.close()
+        if stopped:
+            # Drop the in-flight work exactly like the per-call pool's
+            # terminate() used to; the next dispatch re-forks lazily.
+            pool.retire()
     obs.observe("compare.seconds", time.perf_counter() - started)
     return results, diverging

@@ -314,10 +314,19 @@ def parallel_efficiency_warnings(
                 continue
             wall = entry["metrics"][metric_name]["value"]
             if wall >= base_wall and base_wall > 0:
+                speedup = base_wall / wall
+                states = entry.get("context", {}).get(
+                    "states", base.get("context", {}).get("states")
+                )
+                scale = (
+                    f" at {states:,} states"
+                    if isinstance(states, int) and states > 0 else ""
+                )
                 warnings.append(
                     f"parallel efficiency: {family} at jobs={jobs} took "
                     f"{wall:.3f}s vs {base_wall:.3f}s at jobs=1 "
-                    f"({base_wall / wall:.2f}x speedup) -- parallelism is "
+                    f"({speedup:.2f}x speedup, {speedup / jobs:.0%} "
+                    f"efficiency{scale}) -- parallelism is "
                     f"not paying off at this scale"
                 )
     return warnings
@@ -426,7 +435,8 @@ def _bench_enum_sequential() -> BenchResult:
     wall, (_, stats) = _best_of(run)
     return BenchResult(
         name="enum.sequential",
-        context=_context(family="enum", jobs=1, kernel="compiled"),
+        context=_context(family="enum", jobs=1, kernel="compiled",
+                         states=stats.num_states),
         metrics={
             "wall_seconds": metric(wall),
             "states_per_second": metric(
@@ -450,7 +460,55 @@ def _bench_enum_parallel() -> BenchResult:
         name="enum.parallel",
         context=_context(
             family="enum", jobs=_PARALLEL_JOBS, kernel="compiled",
-            cpus=os.cpu_count(),
+            cpus=os.cpu_count(), states=stats.num_states,
+        ),
+        metrics={
+            "wall_seconds": metric(wall),
+            "states_per_second": metric(
+                stats.num_states / wall, "states/s", higher_is_better=True
+            ),
+        },
+    )
+
+
+@register_benchmark("enum.parallel.full")
+def _bench_enum_parallel_full() -> BenchResult:
+    """Scaled-up parallel enumeration through the persistent worker pool.
+
+    Probes the regime the small-scale ``enum.parallel`` benchmark cannot:
+    enough states per wave for packed shared-memory dispatch to engage.
+    The scale is env-selected (``REPRO_BENCH_FULL_SCALE``) because the
+    paper-scale ``full`` model takes ~a minute sequentially; the default
+    ``branch`` scale (~11K states) keeps the registry suite quick while
+    still crossing the dispatch threshold every wave.  The exhaustive
+    Table 3.2 sweep lives in ``benchmarks/bench_table_3_2.py``.
+    """
+    from repro.enumeration import enumerate_states_parallel, make_worker_pool
+    from repro.pp.fsm_model import PPModelConfig, build_pp_control_model
+
+    scale = os.environ.get("REPRO_BENCH_FULL_SCALE", "branch")
+    configs = {
+        "branch": PPModelConfig(fill_words=2, extra_pipe_stages=1,
+                                model_branches=True),
+        "mid": PPModelConfig(fill_words=2, extra_pipe_stages=2),
+        "full": PPModelConfig.full(),
+    }
+    config = configs[scale]
+    pool = make_worker_pool(_PARALLEL_JOBS)
+
+    def run():
+        model = build_pp_control_model(config)
+        return enumerate_states_parallel(model, jobs=_PARALLEL_JOBS, pool=pool)
+
+    try:
+        wall, (_, stats) = _best_of(run)
+    finally:
+        pool.shutdown()
+    return BenchResult(
+        name="enum.parallel.full",
+        context=_context(
+            family="enum-full", jobs=_PARALLEL_JOBS, kernel="compiled",
+            cpus=os.cpu_count(), scale=scale, states=stats.num_states,
         ),
         metrics={
             "wall_seconds": metric(wall),

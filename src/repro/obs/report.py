@@ -229,6 +229,10 @@ class RunReport:
         if self.resilience:
             sections.append("")
             sections.append(_render_resilience(self.resilience))
+        pool = _render_pool(self.metrics)
+        if pool:
+            sections.append("")
+            sections.append(pool)
         if self.coverage_curve:
             sections.append("")
             sections.append(_render_curve(self.coverage_curve))
@@ -323,6 +327,29 @@ def _render_resilience(resilience: Mapping[str, Any]) -> str:
                      f"{', DEGRADED to in-process expansion' if resilience.get('degraded') else ''}")
     else:
         lines.append("  worker recovery:   no failures")
+    return "\n".join(lines)
+
+
+def _render_pool(metrics: Mapping[str, Any]) -> Optional[str]:
+    """The persistent worker pool's lifecycle counters, when it ran."""
+    counters = {
+        row["name"]: row["value"]
+        for row in (metrics or {}).get("counters", [])
+        if isinstance(row, Mapping)
+    }
+    spawns = counters.get("enum.pool.spawns")
+    if not spawns:
+        return None
+    lines = ["Worker pool"]
+    lines.append(f"  generations:       {int(spawns)} forked, "
+                 f"{int(counters.get('enum.pool.reuse_hits', 0))} warm "
+                 f"dispatches to live workers")
+    lines.append(f"  dispatch payload:  "
+                 f"{int(counters.get('enum.pool.dispatch_bytes', 0)):,} bytes "
+                 f"coordinator -> workers")
+    respawns = int(counters.get("enum.pool_respawns", 0))
+    if respawns:
+        lines.append(f"  respawns:          {respawns} after worker failures")
     return "\n".join(lines)
 
 

@@ -32,7 +32,11 @@ from repro.pp.isa import (
 )
 from repro.pp.asm import assemble, disassemble, AssemblerError
 from repro.pp.spec import SpecSimulator, ArchState
-from repro.pp.fsm_model import build_pp_control_model, PPModelConfig
+from repro.pp.fsm_model import (
+    PPModelConfig,
+    build_pp_control_model,
+    pp_control_model,
+)
 
 __all__ = [
     "InstructionClass",
@@ -47,5 +51,6 @@ __all__ = [
     "SpecSimulator",
     "ArchState",
     "build_pp_control_model",
+    "pp_control_model",
     "PPModelConfig",
 ]

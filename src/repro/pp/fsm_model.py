@@ -55,12 +55,36 @@ class PPModelConfig:
     #: Each multiplies the state space by ~|classes| -- the lever used to
     #: scale the model toward the paper's 200K-state graph.
     extra_pipe_stages: int = 0
+    #: Memory-port word deliveries a victim write-back takes.  1 (the
+    #: default) keeps the original single-beat spill; >1 adds a spill
+    #: counter so the WB occupancy window -- and its interleavings with
+    #: both refill engines -- deepens, the "spill" axis of the paper-scale
+    #: product space.
+    spill_words: int = 1
+    #: Route the build to the squashing-branch extension
+    #: (:class:`repro.pp.branches.BranchPPControlModel`): the BR class in
+    #: every pipe register plus the branch-outcome choice, the "branch"
+    #: axis of the product space.
+    model_branches: bool = False
 
     def __post_init__(self):
         if self.fill_words < 1:
             raise ValueError("fill_words must be >= 1")
         if not 0 <= self.extra_pipe_stages <= 3:
             raise ValueError("extra_pipe_stages must be in 0..3")
+        if self.spill_words < 1:
+            raise ValueError("spill_words must be >= 1")
+
+    @classmethod
+    def full(cls) -> "PPModelConfig":
+        """The ``pp-full`` paper-scale configuration (Table 3.2's shape).
+
+        Deep fill streams, the full write-back pipe and a two-beat victim
+        spill put the reachable graph at the ~200K-state scale of the
+        paper's full PP control model (229,571 states), where parallel
+        enumeration has enough work per wave to pay off.
+        """
+        return cls(fill_words=6, extra_pipe_stages=3, spill_words=2)
 
 
 class PPControlModel:
@@ -89,6 +113,10 @@ class PPControlModel:
         ]
         for i in range(self.config.extra_pipe_stages):
             self.state_vars.append(StateVar(f"wb{i}", pipe, "BUBBLE"))
+        if self.config.spill_words > 1:
+            self.state_vars.append(
+                StateVar("spill_cnt", RangeType(0, self.config.spill_words), 0)
+            )
         choices = [
             ChoicePoint(
                 "fetch_class",
@@ -207,7 +235,16 @@ class PPControlModel:
                 ns["irefill"] = "FIXUP"
                 ns["ifill_cnt"] = 0
         elif port_owner == "WB" and delivered:
-            ns["spill"] = "EMPTY"
+            sw = self.config.spill_words
+            if sw == 1:
+                ns["spill"] = "EMPTY"
+            else:
+                count = state["spill_cnt"] + 1
+                if count >= sw:
+                    ns["spill"] = "EMPTY"
+                    ns["spill_cnt"] = 0
+                else:
+                    ns["spill_cnt"] = count
 
         # ---- FSM housekeeping transitions (no port needed).
         if state["drefill"] == "SPILL":
@@ -346,35 +383,69 @@ class PPControlModel:
     # -- SyncModel view ----------------------------------------------------------
 
     def build(self) -> SyncModel:
+        # Non-default scaling knobs join the name (default configs keep
+        # the historical name, so goldens/checkpoints stay stable).
+        cfg = self.config
+        parts = [f"fill_words={cfg.fill_words}"]
+        if cfg.extra_pipe_stages:
+            parts.append(f"extra_pipe_stages={cfg.extra_pipe_stages}")
+        if cfg.spill_words > 1:
+            parts.append(f"spill_words={cfg.spill_words}")
+        if cfg.model_dual_issue:
+            parts.append("dual_issue")
+        if cfg.model_branches:
+            parts.append("branches")
+        invariants = {
+            # Only one unit can own the shared memory port -- the
+            # interlock the paper credits for the tame state count.
+            "one_port_owner": lambda s: (
+                (s["drefill"] in ("FILL_CRIT", "FILL_REST"))
+                + (s["irefill"] == "FILL")
+                + (s["spill"] == "WB")
+            ) <= 1,
+            # Before the critical word, a D-refill has a recorded owner.
+            "refill_has_owner": lambda s: (
+                s["drefill"] not in ("SPILL", "REQ", "FILL_CRIT")
+                or s["miss_owner"] != "NONE"
+            ),
+            # The fill counters only run while their fill is streaming.
+            "dfill_counter_gated": lambda s: (
+                s["drefill"] == "FILL_REST" or s["dfill_cnt"] == 0
+            ),
+            "ifill_counter_gated": lambda s: (
+                s["irefill"] == "FILL" or s["ifill_cnt"] == 0
+            ),
+        }
+        if cfg.spill_words > 1:
+            invariants["spill_counter_gated"] = lambda s: (
+                s["spill"] == "WB" or s["spill_cnt"] == 0
+            )
         return SyncModel(
-            name=f"pp_control(fill_words={self.config.fill_words})",
+            name=f"pp_control({', '.join(parts)})",
             state_vars=self.state_vars,
             choices=self.choices,
             next_state=self.step,
-            invariants={
-                # Only one unit can own the shared memory port -- the
-                # interlock the paper credits for the tame state count.
-                "one_port_owner": lambda s: (
-                    (s["drefill"] in ("FILL_CRIT", "FILL_REST"))
-                    + (s["irefill"] == "FILL")
-                    + (s["spill"] == "WB")
-                ) <= 1,
-                # Before the critical word, a D-refill has a recorded owner.
-                "refill_has_owner": lambda s: (
-                    s["drefill"] not in ("SPILL", "REQ", "FILL_CRIT")
-                    or s["miss_owner"] != "NONE"
-                ),
-                # The fill counters only run while their fill is streaming.
-                "dfill_counter_gated": lambda s: (
-                    s["drefill"] == "FILL_REST" or s["dfill_cnt"] == 0
-                ),
-                "ifill_counter_gated": lambda s: (
-                    s["irefill"] == "FILL" or s["ifill_cnt"] == 0
-                ),
-            },
+            invariants=invariants,
         )
+
+
+def pp_control_model(config: Optional[PPModelConfig] = None) -> PPControlModel:
+    """The right builder object for ``config``.
+
+    Constructing :class:`PPControlModel` directly silently ignores
+    ``model_branches`` (the branch-kill machinery lives in the
+    :class:`~repro.pp.branches.BranchPPControlModel` subclass); every
+    consumer that accepts an arbitrary config must come through here.
+    """
+    config = config or PPModelConfig()
+    if config.model_branches:
+        # Lazy import: branches.py imports this module.
+        from repro.pp.branches import BranchPPControlModel
+
+        return BranchPPControlModel(config)
+    return PPControlModel(config)
 
 
 def build_pp_control_model(config: Optional[PPModelConfig] = None) -> SyncModel:
     """Public entry point: the PP control logic as a SyncModel."""
-    return PPControlModel(config).build()
+    return pp_control_model(config).build()

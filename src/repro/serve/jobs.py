@@ -367,9 +367,9 @@ def _checkpoint_config(paths: JobPaths):
 def _run_enumerate(model_config, params, paths, budget, faults, resume,
                    observer) -> Dict[str, Any]:
     from repro.enumeration import enumerate_states
-    from repro.pp.fsm_model import PPControlModel
+    from repro.pp.fsm_model import build_pp_control_model
 
-    model = PPControlModel(model_config).build()
+    model = build_pp_control_model(model_config)
     graph, stats = enumerate_states(
         model,
         record_all_conditions=params["record_all_conditions"],

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.enumeration.graph import Edge, StateGraph
+from repro.enumeration.pool import WorkerPool
 from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPControlModel
 from repro.pp.isa import Instruction, InstructionClass, Opcode, random_instruction
@@ -179,6 +180,19 @@ class TransitionEventMemo:
 #: guard closures that cannot be pickled, so workers must inherit the
 #: whole generator (model, graph, memo) through fork copy-on-write.
 _PARALLEL_GENERATOR: Optional["VectorGenerator"] = None
+#: Monotonic publication epoch: bumps whenever a *different* generator is
+#: published, so a shared :class:`WorkerPool`'s context tag can never
+#: collide across generators (object ids can be recycled; epochs cannot),
+#: while repeat runs of one generator keep the warm worker generation.
+_PARALLEL_EPOCH = 0
+
+
+def _publish_generator(generator: "VectorGenerator") -> int:
+    global _PARALLEL_GENERATOR, _PARALLEL_EPOCH
+    if _PARALLEL_GENERATOR is not generator:
+        _PARALLEL_EPOCH += 1
+        _PARALLEL_GENERATOR = generator
+    return _PARALLEL_EPOCH
 
 
 def _vector_trace_job(payload: Tuple[int, Tour]) -> Tuple[int, "TestVectorTrace"]:
@@ -186,6 +200,13 @@ def _vector_trace_job(payload: Tuple[int, Tour]) -> Tuple[int, "TestVectorTrace"
     generator = _PARALLEL_GENERATOR
     rng = random.Random(f"{generator.seed}:{index}")
     return index, generator._trace_from_tour(tour, rng)
+
+
+def _vector_chunk_job(
+    payload: Sequence[Tuple[int, Tour]], attempt: int = 0
+) -> List[Tuple[int, "TestVectorTrace"]]:
+    """Pool task: one chunk of indexed tours (pure -- safe to retry)."""
+    return [_vector_trace_job(item) for item in payload]
 
 
 class VectorGenerator:
@@ -238,6 +259,7 @@ class VectorGenerator:
         tours: Sequence[Tour],
         obs: Optional[Observer] = None,
         jobs: int = 1,
+        pool: Optional[WorkerPool] = None,
     ) -> TraceSet:
         """Convert every tour component into a test-vector trace.
 
@@ -246,6 +268,12 @@ class VectorGenerator:
         *original* index, so the produced traces are bit-identical at any
         worker count (golden-tested); only wall clock changes.  Falls
         back to sequential where fork is unavailable.
+
+        ``pool`` accepts the pipeline's persistent
+        :class:`~repro.enumeration.pool.WorkerPool`; workers then come
+        from (or are re-forked into) the shared pool instead of a
+        per-call ``multiprocessing.Pool``, and dead-worker recovery
+        applies (chunks are pure, so retries are safe).
         """
         obs = resolve(obs)
         started = time.perf_counter()
@@ -257,7 +285,9 @@ class VectorGenerator:
         # same value (worker-side memo fills are invisible to the parent).
         obs.gauge("vectors.memo_entries", len(self.memo) if self.memo is not None else 0)
         obs.gauge("vectors.workers", max(workers, 1))
-        if workers > 1:
+        if workers > 1 and pool is not None:
+            traces = self._generate_with_pool(tours, pool, obs)
+        elif workers > 1:
             traces = self._generate_parallel(tours, workers, obs)
         else:
             traces = []
@@ -273,6 +303,33 @@ class VectorGenerator:
             obs.observe("vectors.trace_instructions", trace.num_instructions)
         obs.observe("vectors.seconds", time.perf_counter() - started)
         return trace_set
+
+    def _generate_with_pool(
+        self, tours: List[Tour], pool: WorkerPool, obs: Observer
+    ) -> List[TestVectorTrace]:
+        epoch = _publish_generator(self)
+        pool.obs = obs
+        # Same generator published again -> same tag -> warm workers; a
+        # different generator bumps the epoch and re-forks.  The global
+        # stays published (the pipeline keeps these objects alive anyway)
+        # so live workers always mirror the coordinator's state.
+        pool.set_context(("vectors", epoch))
+        chunksize = max(1, len(tours) // (pool.jobs * 4))
+        indexed = list(enumerate(tours))
+        chunks = [
+            indexed[i : i + chunksize] for i in range(0, len(indexed), chunksize)
+        ]
+        results: List[Optional[TestVectorTrace]] = [None] * len(tours)
+        done = 0
+        # No timeout: trace generation time is unbounded in tour length;
+        # dead workers still recover via BrokenProcessPool.
+        for _, chunk_result in pool.imap_tasks(_vector_chunk_job, chunks):
+            for index, trace in chunk_result:
+                results[index] = trace
+            done += len(chunk_result)
+            obs.heartbeat("vectors", traces=done, total=len(tours),
+                          workers=pool.jobs)
+        return results
 
     def _generate_parallel(
         self, tours: List[Tour], workers: int, obs: Optional[Observer] = None

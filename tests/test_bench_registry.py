@@ -18,7 +18,7 @@ from repro.obs.bench import (
 )
 
 
-def _entry(name, wall, jobs=None, family=None, hib_value=None):
+def _entry(name, wall, jobs=None, family=None, hib_value=None, states=None):
     metrics = {"wall_seconds": metric(wall)}
     if hib_value is not None:
         metrics["states_per_second"] = metric(
@@ -29,6 +29,8 @@ def _entry(name, wall, jobs=None, family=None, hib_value=None):
         context["family"] = family
     if jobs is not None:
         context["jobs"] = jobs
+    if states is not None:
+        context["states"] = states
     return {
         "schema": BENCH_RESULT_SCHEMA,
         "name": name,
@@ -213,6 +215,45 @@ class TestParallelEfficiency:
     def test_entries_without_family_ignored(self):
         entries = [_entry("a", 1.0), _entry("b", 5.0)]
         assert parallel_efficiency_warnings(entries) == []
+
+    def test_warning_reports_measured_efficiency_ratio(self):
+        entries = [
+            _entry("enum.sequential", 0.4, jobs=1, family="enum"),
+            _entry("enum.parallel", 0.8, jobs=4, family="enum"),
+        ]
+        warnings = parallel_efficiency_warnings(entries)
+        assert len(warnings) == 1
+        # 0.4/0.8 = 0.50x speedup across 4 workers = 12% efficiency.
+        assert "0.50x speedup" in warnings[0]
+        assert "12% efficiency" in warnings[0]
+
+    def test_warning_reports_states_scale(self):
+        entries = [
+            _entry("enum.sequential", 0.4, jobs=1, family="enum",
+                   states=2135),
+            _entry("enum.parallel", 0.5, jobs=4, family="enum",
+                   states=2135),
+        ]
+        warnings = parallel_efficiency_warnings(entries)
+        assert len(warnings) == 1
+        assert "at 2,135 states" in warnings[0]
+
+    def test_states_scale_falls_back_to_baseline_context(self):
+        entries = [
+            _entry("enum.sequential", 0.4, jobs=1, family="enum",
+                   states=2135),
+            _entry("enum.parallel", 0.5, jobs=4, family="enum"),
+        ]
+        warnings = parallel_efficiency_warnings(entries)
+        assert "at 2,135 states" in warnings[0]
+
+    def test_scale_omitted_when_unknown(self):
+        entries = [
+            _entry("enum.sequential", 0.4, jobs=1, family="enum"),
+            _entry("enum.parallel", 0.5, jobs=4, family="enum"),
+        ]
+        warnings = parallel_efficiency_warnings(entries)
+        assert "states" not in warnings[0]
 
 
 class TestRegistry:

@@ -128,3 +128,34 @@ class TestBranchModel:
         }
         assert Opcode.BEQ in opcodes  # taken outcomes realized
         assert Opcode.BNE in opcodes  # not-taken outcomes realized
+
+
+class TestModelRouting:
+    """``model_branches`` must route to the branch model everywhere.
+
+    Constructing ``PPControlModel`` directly silently drops the flag, so
+    every consumer that takes an arbitrary config goes through
+    ``pp_control_model`` / ``build_pp_control_model``.
+    """
+
+    def test_factory_routes_branch_configs(self):
+        from repro.pp.fsm_model import PPControlModel, pp_control_model
+
+        branch_cfg = PPModelConfig(fill_words=1, model_branches=True)
+        assert isinstance(pp_control_model(branch_cfg), BranchPPControlModel)
+        plain = pp_control_model(PPModelConfig(fill_words=1))
+        assert type(plain) is PPControlModel
+
+    def test_build_includes_branch_choices(self):
+        model = build_pp_control_model(
+            PPModelConfig(fill_words=1, model_branches=True)
+        )
+        assert "branch_taken" in model.choice_names
+
+    def test_pipeline_uses_branch_model(self):
+        from repro.core.pipeline import ValidationPipeline
+
+        pipeline = ValidationPipeline(
+            model_config=PPModelConfig(fill_words=1, model_branches=True)
+        )
+        assert isinstance(pipeline.control, BranchPPControlModel)

@@ -558,14 +558,9 @@ class TestCliResilience:
             invariants={"n_small": lambda s: s["n"] < 2},
         )
 
-        class StubControl:
-            def __init__(self, config):
-                pass
-
-            def build(self):
-                return bad_model
-
-        monkeypatch.setattr(cli, "PPControlModel", StubControl)
+        monkeypatch.setattr(
+            cli, "build_pp_control_model", lambda config: bad_model
+        )
         assert cli.main(["enumerate", "--fill-words", "1"]) == 3
         assert "invariant violation" in capsys.readouterr().err
 
