@@ -705,8 +705,12 @@ def cmd_bench(args) -> int:
         )
         print(f"{name:<24} {cells}")
     entries = bench.load_history(args.history)
+    sha = bench.provenance_sha()
     print(f"history: {len(entries)} entries in {args.history} "
-          f"(now at {bench.git_sha()[:12]})")
+          f"(now at {bench.short_sha(sha)})")
+    if sha.endswith("-dirty"):
+        print("WARNING: working tree has uncommitted tracked changes; "
+              "new history entries are stamped <sha>-dirty")
     for warning in bench.parallel_efficiency_warnings(entries):
         print(f"WARNING: {warning}")
     regressions = bench.detect_regressions(

@@ -351,9 +351,32 @@ class ArtifactCache:
         manifest fields are merged in for debugging.
         """
         started = time.perf_counter()
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.pickle_path(key)
         blob = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
+        # A concurrent prune() may sweep our .tmp between mkstemp and
+        # os.replace (FileNotFoundError from the replace).  Losing that
+        # race is not an error -- the entry is being written, not read
+        # -- so re-create and write again; last writer wins.
+        attempts = 5
+        for attempt in range(attempts):
+            try:
+                self._persist(key, path, blob, manifest)
+                break
+            except FileNotFoundError:
+                if attempt == attempts - 1:
+                    raise
+        logger.debug(
+            "cache store for %s (%d bytes in %.3fs)",
+            key[:12], len(blob), time.perf_counter() - started,
+        )
+        return path
+
+    def _persist(
+        self, key: str, path: Path, blob: bytes,
+        manifest: Optional[Dict[str, Any]],
+    ) -> None:
+        """One attempt at writing pickle + manifest + build counter."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -382,11 +405,6 @@ class ArtifactCache:
         # the per-key lock this is an exact "how many times was this
         # entry actually built" counter that chaos tests assert on.
         atomic_write_text(self.builds_path(key), f"{self.build_count(key) + 1}\n")
-        logger.debug(
-            "cache store for %s (%d bytes in %.3fs)",
-            key[:12], len(blob), time.perf_counter() - started,
-        )
-        return path
 
     def prune(self) -> int:
         """Remove every entry; returns the number of pickles deleted."""

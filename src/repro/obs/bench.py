@@ -17,6 +17,9 @@ lives on -- was invisible.  This module is the shared substrate:
 - **A history timeline**: every run appends one JSONL line to
   ``BENCH_history.jsonl`` keyed by git SHA -- the same file the legacy
   ``bench_kernel.py`` / ``bench_back_half.py`` scripts now feed too.
+  Runs from a tree with uncommitted tracked changes are stamped
+  ``<sha>-dirty`` (:func:`provenance_sha`), so a measurement can never
+  silently masquerade as the clean HEAD commit's performance.
 - **A regression detector** (:func:`detect_regressions`): the newest
   entry of every (benchmark, metric) series is compared against the
   median of a trailing baseline window; a slowdown past the threshold
@@ -146,10 +149,67 @@ def git_sha(cwd: Optional[str] = None) -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+#: Per-cwd cache for the dirty-tree probe.  The answer is stable for the
+#: life of a benchmark process, and ``append_history`` itself modifies
+#: the (tracked) history file mid-run -- re-probing after the first
+#: append would stamp every subsequent entry of a clean run as dirty.
+_DIRTY_CACHE: Dict[Optional[str], Optional[bool]] = {}
+
+
+def git_dirty(cwd: Optional[str] = None) -> Optional[bool]:
+    """Whether tracked files carry uncommitted changes (None if unknown).
+
+    Untracked files are ignored (the ``git describe --dirty``
+    convention): the failure mode this guards against is benchmarking
+    *modified* code while attributing the numbers to the unmodified
+    HEAD commit.
+    """
+    if cwd not in _DIRTY_CACHE:
+        try:
+            out = subprocess.run(
+                ["git", "status", "--porcelain", "--untracked-files=no"],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.SubprocessError):
+            out = None
+        if out is None or out.returncode != 0:
+            _DIRTY_CACHE[cwd] = None
+        else:
+            _DIRTY_CACHE[cwd] = bool(out.stdout.strip())
+    return _DIRTY_CACHE[cwd]
+
+
+def provenance_sha(cwd: Optional[str] = None) -> str:
+    """:func:`git_sha`, suffixed ``-dirty`` for an unclean working tree.
+
+    History entries once attributed dirty-tree measurements to the bare
+    parent commit -- code the commit did not contain.  Stamping the
+    suffix makes that impossible to do silently.  A ``REPRO_GIT_SHA``
+    override is taken verbatim: the caller is asserting provenance
+    explicitly.
+    """
+    if os.environ.get("REPRO_GIT_SHA"):
+        return git_sha(cwd)
+    sha = git_sha(cwd)
+    if sha != "unknown" and git_dirty(cwd):
+        sha += "-dirty"
+    return sha
+
+
+def short_sha(sha: str, length: int = 12) -> str:
+    """Abbreviate a provenance SHA without losing the ``-dirty`` marker."""
+    if sha.endswith("-dirty"):
+        return sha[: -len("-dirty")][:length] + "-dirty"
+    return sha[:length]
+
+
 def stamp(result: BenchResult, cwd: Optional[str] = None) -> BenchResult:
     """Fill in the provenance fields (git SHA, UTC timestamp) in place."""
     if result.git_sha == "unknown":
-        result.git_sha = git_sha(cwd)
+        result.git_sha = provenance_sha(cwd)
     if not result.timestamp:
         result.timestamp = (
             datetime.datetime.now(datetime.timezone.utc)

@@ -104,6 +104,60 @@ class TestHistory:
         assert bench.git_sha() == "cafe1234"
 
 
+class TestDirtyProvenance:
+    """A dirty working tree must be visible in every stamped SHA."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        monkeypatch.setattr(bench, "_DIRTY_CACHE", {})
+
+    def test_stamp_marks_dirty_tree(self, monkeypatch):
+        monkeypatch.setattr(bench, "git_sha", lambda cwd=None: "abc123")
+        monkeypatch.setattr(bench, "git_dirty", lambda cwd=None: True)
+        result = bench.stamp(BenchResult(
+            name="a", metrics={"wall_seconds": metric(1.0)},
+        ))
+        assert result.git_sha == "abc123-dirty"
+
+    def test_clean_tree_stamps_bare_sha(self, monkeypatch):
+        monkeypatch.setattr(bench, "git_sha", lambda cwd=None: "abc123")
+        monkeypatch.setattr(bench, "git_dirty", lambda cwd=None: False)
+        assert bench.provenance_sha() == "abc123"
+
+    def test_env_override_is_taken_verbatim(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafe1234")
+        monkeypatch.setattr(bench, "git_dirty", lambda cwd=None: True)
+        assert bench.provenance_sha() == "cafe1234"
+
+    def test_unknown_sha_gets_no_suffix(self, monkeypatch):
+        monkeypatch.setattr(bench, "git_sha", lambda cwd=None: "unknown")
+        monkeypatch.setattr(bench, "git_dirty", lambda cwd=None: True)
+        assert bench.provenance_sha() == "unknown"
+
+    def test_dirty_probe_is_cached_per_process(self, monkeypatch):
+        calls = []
+
+        def fake_run(*args, **kwargs):
+            calls.append(args)
+
+            class Out:
+                returncode = 0
+                stdout = " M src/repro/cli.py\n"
+
+            return Out()
+
+        monkeypatch.setattr(bench.subprocess, "run", fake_run)
+        assert bench.git_dirty() is True
+        assert bench.git_dirty() is True
+        assert len(calls) == 1
+
+    def test_short_sha_keeps_dirty_marker(self):
+        sha = "0123456789abcdef0123456789abcdef01234567"
+        assert bench.short_sha(sha) == "0123456789ab"
+        assert bench.short_sha(sha + "-dirty") == "0123456789ab-dirty"
+
+
 class TestRegressionDetector:
     def test_no_regression_within_threshold(self):
         entries = [_entry("a", 1.0) for _ in range(4)] + [_entry("a", 1.2)]
