@@ -162,7 +162,9 @@ def git_dirty(cwd: Optional[str] = None) -> Optional[bool]:
     Untracked files are ignored (the ``git describe --dirty``
     convention): the failure mode this guards against is benchmarking
     *modified* code while attributing the numbers to the unmodified
-    HEAD commit.
+    HEAD commit.  Benchmark artifacts (tracked ``BENCH_*`` files) are
+    ignored too -- the benchmarks rewrite them mid-run, before their
+    history entries are stamped, and a run's own outputs are not code.
     """
     if cwd not in _DIRTY_CACHE:
         try:
@@ -178,7 +180,13 @@ def git_dirty(cwd: Optional[str] = None) -> Optional[bool]:
         if out is None or out.returncode != 0:
             _DIRTY_CACHE[cwd] = None
         else:
-            _DIRTY_CACHE[cwd] = bool(out.stdout.strip())
+            code_changes = [
+                line for line in out.stdout.splitlines()
+                if line.strip() and not os.path.basename(
+                    line[3:].split(" -> ")[-1].strip().strip('"')
+                ).startswith("BENCH_")
+            ]
+            _DIRTY_CACHE[cwd] = bool(code_changes)
     return _DIRTY_CACHE[cwd]
 
 

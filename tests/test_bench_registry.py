@@ -135,6 +135,30 @@ class TestDirtyProvenance:
         monkeypatch.setattr(bench, "git_dirty", lambda cwd=None: True)
         assert bench.provenance_sha() == "unknown"
 
+    def test_modified_bench_artifacts_do_not_count_as_dirty(
+        self, monkeypatch
+    ):
+        def fake_run(*args, **kwargs):
+            class Out:
+                returncode = 0
+                stdout = " M BENCH_history.jsonl\n M BENCH_table_3_2.json\n"
+
+            return Out()
+
+        monkeypatch.setattr(bench.subprocess, "run", fake_run)
+        assert bench.git_dirty() is False
+
+    def test_modified_source_beside_artifacts_is_dirty(self, monkeypatch):
+        def fake_run(*args, **kwargs):
+            class Out:
+                returncode = 0
+                stdout = " M BENCH_history.jsonl\n M src/repro/cli.py\n"
+
+            return Out()
+
+        monkeypatch.setattr(bench.subprocess, "run", fake_run)
+        assert bench.git_dirty() is True
+
     def test_dirty_probe_is_cached_per_process(self, monkeypatch):
         calls = []
 
