@@ -58,20 +58,46 @@ def test_cache_cold_vs_warm(benchmark, tmp_path):
 
 
 def test_cache_invalidation(tmp_path):
+    from repro.core.cache import pipeline_phase_keys
+
     cache_dir = str(tmp_path / "artifact-cache")
     small = PPModelConfig(fill_words=1)
     ValidationPipeline(model_config=small, cache_dir=cache_dir).build()
     cache = ArtifactCache(cache_dir)
 
-    base = artifact_key(small, max_instructions_per_trace=400)
-    assert cache.has(base)
-    # Any config, flag, or seed change addresses a different entry.
-    assert not cache.has(artifact_key(PPModelConfig(fill_words=2),
-                                      max_instructions_per_trace=400))
-    assert not cache.has(artifact_key(small, max_instructions_per_trace=400, seed=1))
-    assert not cache.has(artifact_key(small, max_instructions_per_trace=400,
-                                      record_all_conditions=True))
-    assert not cache.has(artifact_key(small, max_instructions_per_trace=100))
+    base = pipeline_phase_keys(small, max_instructions_per_trace=400)
+    for phase in ("model", "graph", "tours", "splice", "traces"):
+        assert cache.has(base[phase]), phase
+
+    # A config change re-addresses every phase.
+    other = pipeline_phase_keys(PPModelConfig(fill_words=2),
+                                max_instructions_per_trace=400)
+    assert not any(cache.has(other[phase]) for phase in other)
+
+    # Downstream-only knobs leave the upstream entries live -- that is the
+    # point of per-phase keys.  A new vector seed re-keys only the traces;
+    # a trace-length change re-keys tours and traces; the enumeration mode
+    # re-keys everything from the graph down.
+    seeded = pipeline_phase_keys(small, max_instructions_per_trace=400,
+                                 seed=1)
+    assert seeded["graph"] == base["graph"]
+    assert seeded["tours"] == base["tours"]
+    assert not cache.has(seeded["traces"])
+
+    shorter = pipeline_phase_keys(small, max_instructions_per_trace=100)
+    assert shorter["graph"] == base["graph"]
+    assert not cache.has(shorter["tours"])
+    assert not cache.has(shorter["traces"])
+
+    modes = pipeline_phase_keys(small, max_instructions_per_trace=400,
+                                record_all_conditions=True)
+    assert modes["model"] == base["model"]
+    assert not cache.has(modes["graph"])
+    assert not cache.has(modes["traces"])
+
+    # The monolithic artifact_key remains stable for external consumers
+    # but no longer addresses pipeline-written entries.
+    assert not cache.has(artifact_key(small, max_instructions_per_trace=400))
 
 
 @pytest.mark.parametrize("record_all", [False, True])

@@ -207,6 +207,19 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore cached artifacts and rebuild "
                              "(the fresh build is still stored)")
+    incremental = parser.add_mutually_exclusive_group()
+    incremental.add_argument("--incremental", dest="incremental",
+                             action="store_true", default=True,
+                             help="serve the build from a cached *related* "
+                                  "model where a diff proves it sound: "
+                                  "adopt entries on a no-op edit, "
+                                  "re-enumerate only the dirty region on a "
+                                  "localized edit (default; results are "
+                                  "byte-identical to a cold build)")
+    incremental.add_argument("--no-incremental", dest="incremental",
+                             action="store_false",
+                             help="disable incremental reuse (A/B switch; "
+                                  "only ever costs time)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -407,7 +420,22 @@ def _print_cache_status(pipeline) -> None:
     if pipeline.artifacts_from_cache:
         print(f"artifacts: cache hit ({short}) -- enumeration skipped")
     else:
-        print(f"artifacts: built and cached ({short})")
+        hits = [phase for phase, hit in pipeline.phase_hits.items() if hit]
+        if hits:
+            print(f"artifacts: built and cached ({short}); "
+                  f"phase hits: {', '.join(hits)}")
+        else:
+            print(f"artifacts: built and cached ({short})")
+    report = pipeline.incremental_report
+    if report is not None and report.attempted:
+        if report.classification == "no-op":
+            print(f"incremental: no-op diff vs {report.base_key[:12]}; "
+                  f"adopted {', '.join(report.adopted_phases) or 'nothing'}")
+        else:
+            print(f"incremental: localized diff vs {report.base_key[:12]}; "
+                  f"re-enumerated {report.region_states} state(s), "
+                  f"replayed {report.replayed_states}, spliced "
+                  f"{report.spliced_tours} trace(s)")
 
 
 def cmd_enumerate(args) -> int:
@@ -497,6 +525,7 @@ def cmd_validate(args) -> int:
         checkpoint_every=args.checkpoint_every,
         budget=_budget(args),
         kernel=args.kernel,
+        incremental=args.incremental,
     )
     with obs.span("cli.validate"):
         pipeline.build(resume=args.resume)
@@ -554,6 +583,7 @@ def cmd_campaign(args) -> int:
                 budget=_budget(args),
                 resume=args.resume,
                 kernel=args.kernel,
+                incremental=args.incremental,
             )
         _print_cache_status(campaign.pipeline)
         _print_resilience_status(campaign.enum_stats)
@@ -731,6 +761,50 @@ def cmd_bench(args) -> int:
     return EXIT_PERF_REGRESSION
 
 
+def cmd_cache(args) -> int:
+    """List, summarize and prune a pipeline artifact cache directory."""
+    from repro.core.cache import ArtifactCache
+
+    cache = ArtifactCache(args.directory)
+    if args.prune:
+        removed = cache.prune()
+        print(f"pruned {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.cache_dir}")
+        return EXIT_OK
+    rows = cache.entries()
+    if not rows:
+        print(f"no cache entries in {cache.cache_dir}")
+        return EXIT_OK
+    if args.stats:
+        total = sum(row["size"] for row in rows)
+        by_phase = {}
+        for row in rows:
+            phase = row["phase"] or "(monolithic)"
+            count, size = by_phase.get(phase, (0, 0))
+            by_phase[phase] = (count + 1, size + row["size"])
+        print(f"{len(rows)} entr{'y' if len(rows) == 1 else 'ies'}, "
+              f"{total / 1024:.0f} KiB total in {cache.cache_dir}")
+        for phase in sorted(by_phase):
+            count, size = by_phase[phase]
+            print(f"  {phase:<12} {count:>4} entr{'y' if count == 1 else 'ies'} "
+                  f"{size / 1024:>8.0f} KiB")
+        return EXIT_OK
+    print(f"{'key':<14} {'phase':<12} {'size':>10} {'age':>8} {'builds':>7}")
+    for row in rows:
+        age = row["age_seconds"]
+        if age is None:
+            age_text = "?"
+        elif age >= 3600:
+            age_text = f"{age / 3600:.1f}h"
+        elif age >= 60:
+            age_text = f"{age / 60:.1f}m"
+        else:
+            age_text = f"{age:.0f}s"
+        print(f"{row['key'][:12]:<14} {row['phase'] or '-':<12} "
+              f"{row['size']:>10,} {age_text:>8} {row['builds']:>7}")
+    return EXIT_OK
+
+
 def cmd_report(args) -> int:
     try:
         report = RunReport.load(args.report)
@@ -875,6 +949,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--keep", type=int, default=1,
                    help="checkpoints to retain with --prune (default 1)")
     p.set_defaults(func=cmd_checkpoints)
+
+    p = sub.add_parser("cache",
+                       help="list/summarize/prune a pipeline artifact "
+                            "cache directory (--cache-dir)")
+    p.add_argument("directory", help="cache directory (--cache-dir)")
+    p.add_argument("--stats", action="store_true",
+                   help="aggregate per-phase entry counts and sizes")
+    p.add_argument("--prune", action="store_true",
+                   help="delete every cache entry (locks and temp files "
+                        "included)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("report",
                        help="render a saved run report JSON (--metrics-out)")

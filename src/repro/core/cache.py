@@ -10,8 +10,18 @@ content-addressed key.
 
 Keying scheme
 -------------
-A cache entry's key is the SHA-256 of a canonical JSON payload of every
-input that determines the artifacts:
+Two keying schemes coexist.  The pipeline stores **per-phase** entries
+(translated model fingerprint, state graph, tours, traces) addressed by
+:func:`phase_key`: each phase's key chains the parent phase's key with a
+*per-phase* code digest (:func:`phase_code_version`) that hashes only the
+source subtrees feeding that phase (:data:`PHASE_MODULES`) -- so an edit
+to ``obs/`` or ``serve/`` invalidates nothing, and an edit to ``tour/``
+keeps the enumerated graph.  :func:`pipeline_phase_keys` derives the full
+chain for one build.
+
+The original **monolithic** :func:`artifact_key` remains for callers that
+cache one opaque blob per build; its key is the SHA-256 of a canonical
+JSON payload of every input that determines the artifacts:
 
 - ``schema``: the on-disk format version (:data:`CACHE_SCHEMA_VERSION`);
 - ``code``: a digest of every ``repro`` source file, so *any* code change
@@ -93,26 +103,138 @@ logger = logging.getLogger("repro.cache")
 CACHE_SCHEMA_VERSION = 1
 
 _CODE_VERSION: Optional[str] = None
+#: Wall-clock time at which :data:`_CODE_VERSION` was computed.  A
+#: long-lived daemon records this in every manifest it writes, so an
+#: operator can tell "keys computed from startup-time sources" apart from
+#: keys computed after an in-place upgrade (see :func:`code_version`).
+_CODE_VERSION_AT: Optional[float] = None
+_PHASE_CODE_VERSIONS: Dict[str, str] = {}
+
+#: Pipeline phases, in dependency order.  Each phase's cache entry is keyed
+#: by its own inputs plus a digest of only the source trees that feed it
+#: (:data:`PHASE_MODULES`), chained through the parent phase's key -- so an
+#: edit to ``obs/``, ``serve/``, ``core/`` or the CLI invalidates nothing,
+#: and an edit to e.g. ``tour/`` invalidates tours and traces but keeps the
+#: enumerated graph.
+PHASES = ("model", "graph", "tours", "traces")
+
+#: Source subtrees (relative to the ``repro`` package root) hashed into
+#: each phase's code digest.  Upstream code reaches downstream phases
+#: through the *key chain* (a model-phase change alters ``key_model``,
+#: which is folded into ``key_graph``, and so on), so each set only names
+#: the code that feeds its phase directly:
+#:
+#: - ``model``: the Synchronous-Murphi core, the HDL translator and the PP
+#:   model builders -- everything that determines the translated model.
+#: - ``graph``: the BFS engines plus ``smurphi`` (the state codec and the
+#:   compiled transition kernel live there and shape expansion directly).
+#: - ``tours``: the Fig. 3.3 generators plus ``vectors`` (the instruction
+#:   cost function and transition-event memo are defined there).
+#: - ``traces``: the vector generator plus ``pp`` (ISA instruction
+#:   synthesis and the stimulus-queue layout live under ``pp/``).
+#:
+#: ``incremental`` appears in every phase that the incremental layer can
+#: *produce* (graph/tours/traces): a bug fix to the replay or splice code
+#: must invalidate entries that code may have written.  Absent everywhere:
+#: ``obs``, ``serve``, ``core``, ``cli``, ``harness``, ``resilience``,
+#: ``errata``, ``bugs`` -- none of them feed artifact bytes.
+PHASE_MODULES: Dict[str, tuple] = {
+    "model": ("smurphi", "translate", "pp", "hdl"),
+    "graph": ("enumeration", "smurphi", "incremental"),
+    "tours": ("tour", "vectors", "incremental"),
+    "traces": ("vectors", "pp", "incremental"),
+}
 
 
-def code_version() -> str:
+def _digest_tree(package_root: Path, subdirs: Optional[tuple] = None) -> str:
+    """SHA-256 over relative path + contents of ``.py`` files under root.
+
+    ``subdirs`` restricts the walk to the named subtrees (a *phase* digest);
+    ``None`` hashes the whole package (the monolithic :func:`code_version`).
+    """
+    digest = hashlib.sha256()
+    if subdirs is None:
+        sources = sorted(package_root.rglob("*.py"))
+    else:
+        sources = []
+        for sub in subdirs:
+            sources.extend((package_root / sub).rglob("*.py"))
+        sources.sort()
+    for source in sources:
+        digest.update(str(source.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def code_version(refresh: bool = False) -> str:
     """Digest of the ``repro`` package sources (memoized per process).
 
     Hashing relative path + contents of every ``.py`` file means a cache
     entry is invalidated by any code change that could alter the artifacts,
     without trying to reason about which module feeds which stage.
+
+    The memo is computed at first call, which is a staleness hazard for
+    long-lived processes: a ``repro serve`` daemon upgraded in place would
+    keep serving keys computed from its startup-time sources.
+    ``refresh=True`` recomputes the digest (and drops the per-phase memos)
+    -- the daemon calls it on journal replay -- and every manifest records
+    the digest plus the time it was computed (``code_computed_at``) so the
+    provenance of an entry is auditable.
     """
-    global _CODE_VERSION
-    if _CODE_VERSION is None:
-        package_root = Path(__file__).resolve().parent.parent
-        digest = hashlib.sha256()
-        for source in sorted(package_root.rglob("*.py")):
-            digest.update(str(source.relative_to(package_root)).encode())
-            digest.update(b"\0")
-            digest.update(source.read_bytes())
-            digest.update(b"\0")
-        _CODE_VERSION = digest.hexdigest()
+    global _CODE_VERSION, _CODE_VERSION_AT
+    if refresh or _CODE_VERSION is None:
+        _CODE_VERSION = _digest_tree(_package_root())
+        _CODE_VERSION_AT = time.time()
+        if refresh:
+            _PHASE_CODE_VERSIONS.clear()
     return _CODE_VERSION
+
+
+def code_version_info() -> Dict[str, Any]:
+    """The memoized digest plus the wall-clock time it was computed."""
+    return {"code_version": code_version(), "code_computed_at": _CODE_VERSION_AT}
+
+
+def phase_code_version(
+    phase: str, package_root: Optional[Path] = None, refresh: bool = False
+) -> str:
+    """Digest of only the source subtrees feeding ``phase``.
+
+    Memoized per process (for the real package root); ``refresh=True``
+    recomputes, and ``package_root`` overrides the tree being hashed
+    (tests point it at synthetic trees to assert the invalidation matrix).
+    """
+    if phase not in PHASE_MODULES:
+        raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+    if package_root is not None:
+        return _digest_tree(Path(package_root), PHASE_MODULES[phase])
+    if refresh or phase not in _PHASE_CODE_VERSIONS:
+        _PHASE_CODE_VERSIONS[phase] = _digest_tree(
+            _package_root(), PHASE_MODULES[phase]
+        )
+    return _PHASE_CODE_VERSIONS[phase]
+
+
+def config_payload(model_config: Any) -> Any:
+    """Canonical key payload for a model config.
+
+    Dataclasses key by their field dict.  Anything else falls back to
+    ``repr`` -- but tagged with the concrete type's qualified name, so two
+    *distinct* config classes whose reprs happen to collide (e.g. both
+    printing ``Config(n=1)``) still address different cache entries.
+    """
+    if dataclasses.is_dataclass(model_config):
+        return dataclasses.asdict(model_config)
+    return {
+        "type": f"{type(model_config).__module__}.{type(model_config).__qualname__}",
+        "repr": repr(model_config),
+    }
 
 
 def artifact_key(
@@ -123,15 +245,17 @@ def artifact_key(
     seed: int = 0,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Content address for one pipeline build's artifacts."""
-    if dataclasses.is_dataclass(model_config):
-        config_payload: Any = dataclasses.asdict(model_config)
-    else:
-        config_payload = repr(model_config)
+    """Content address for one pipeline build's artifacts (monolithic).
+
+    This is the original whole-pipeline key (config + flags + seed + the
+    package-wide :func:`code_version`); the pipeline itself now stores
+    per-phase entries keyed by :func:`phase_key`, but this function remains
+    the address for callers that cache one opaque blob per build.
+    """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "code": code_version(),
-        "model_config": config_payload,
+        "model_config": config_payload(model_config),
         "record_all_conditions": bool(record_all_conditions),
         "max_instructions_per_trace": max_instructions_per_trace,
         "seed": seed,
@@ -140,6 +264,85 @@ def artifact_key(
         payload["extra"] = extra
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+def phase_key(
+    phase: str, code: str, parent: Optional[str], payload: Any
+) -> str:
+    """Content address for one phase's artifact.
+
+    ``code`` is the phase's code digest, ``parent`` the upstream phase's
+    key (chaining upstream inputs in), ``payload`` the phase-specific
+    inputs (flags, seed, config).
+    """
+    blob = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "phase": phase,
+            "code": code,
+            "parent": parent,
+            "payload": payload,
+        },
+        sort_keys=True,
+        default=repr,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def pipeline_phase_keys(
+    model_config: Any,
+    *,
+    record_all_conditions: bool = False,
+    max_instructions_per_trace: Optional[int] = None,
+    seed: int = 0,
+    edits: tuple = (),
+    code_digests: Optional[Dict[str, str]] = None,
+) -> Dict[str, str]:
+    """Per-phase content addresses for one pipeline build.
+
+    The chain mirrors the pipeline's dataflow: the model key covers config
+    plus the semantic digests of any model edits; the graph key adds the
+    enumeration mode; the tours key the per-trace split limit; the traces
+    key the vector seed.  ``code_digests`` overrides individual phase code
+    digests (tests and benchmarks use it to simulate source edits without
+    touching the tree).
+
+    A derived ``"splice"`` key addresses the incremental-support sidecar
+    (per-edge instruction costs + the transition-event memo) stored next
+    to the tours entry.
+    """
+    overrides = code_digests or {}
+
+    def code(phase: str) -> str:
+        return overrides.get(phase) or phase_code_version(phase)
+
+    keys: Dict[str, str] = {}
+    keys["model"] = phase_key(
+        "model",
+        code("model"),
+        None,
+        {
+            "model_config": config_payload(model_config),
+            "edits": [edit.digest() for edit in edits],
+        },
+    )
+    keys["graph"] = phase_key(
+        "graph",
+        code("graph"),
+        keys["model"],
+        {"record_all_conditions": bool(record_all_conditions)},
+    )
+    keys["tours"] = phase_key(
+        "tours",
+        code("tours"),
+        keys["graph"],
+        {"max_instructions_per_trace": max_instructions_per_trace},
+    )
+    keys["traces"] = phase_key(
+        "traces", code("traces"), keys["tours"], {"seed": seed}
+    )
+    keys["splice"] = phase_key("tours", code("tours"), keys["tours"], "splice")
+    return keys
 
 
 class ArtifactCache:
@@ -396,6 +599,7 @@ class ArtifactCache:
             sha256=hashlib.sha256(blob).hexdigest(),
             size=len(blob),
             stored_at=time.time(),
+            **code_version_info(),
         )
         atomic_write_text(
             self.manifest_path(key),
@@ -405,6 +609,79 @@ class ArtifactCache:
         # the per-key lock this is an exact "how many times was this
         # entry actually built" counter that chaos tests assert on.
         atomic_write_text(self.builds_path(key), f"{self.build_count(key) + 1}\n")
+
+    def copy_entry(self, src_key: str, dst_key: str) -> bool:
+        """Adopt ``src_key``'s entry under ``dst_key`` without re-pickling.
+
+        The incremental layer uses this when a model diff proves two keys
+        address byte-identical artifacts (a no-op edit): the pickle bytes
+        are copied verbatim -- no load/unpickle/re-pickle round trip -- and
+        a fresh manifest records the provenance (``copied_from``).  Returns
+        ``False`` (no copy) when the source entry is absent or fails its
+        integrity check.
+        """
+        try:
+            blob = self.pickle_path(src_key).read_bytes()
+        except OSError:
+            return False
+        manifest: Dict[str, Any] = {}
+        try:
+            manifest = json.loads(self.manifest_path(src_key).read_text())
+        except (OSError, ValueError):
+            pass
+        expected = manifest.get("sha256")
+        if expected is not None and hashlib.sha256(blob).hexdigest() != expected:
+            self._quarantine(src_key, "sha256 mismatch during copy_entry")
+            return False
+        manifest.pop("sha256", None)
+        manifest.pop("stored_at", None)
+        manifest["copied_from"] = src_key
+        attempts = 5
+        for attempt in range(attempts):
+            try:
+                self._persist(dst_key, self.pickle_path(dst_key), blob, manifest)
+                return True
+            except FileNotFoundError:
+                if attempt == attempts - 1:
+                    raise
+        return True
+
+    def entries(self) -> list:
+        """Describe every stored entry (for ``repro cache``).
+
+        Returns a list of dicts -- key, phase (from the manifest, if the
+        writer recorded one), pickle size, age in seconds, build count --
+        sorted newest-first.
+        """
+        rows = []
+        if not self.cache_dir.is_dir():
+            return rows
+        now = time.time()
+        for path in sorted(self.cache_dir.glob("*.pkl")):
+            key = path.stem
+            manifest: Dict[str, Any] = {}
+            try:
+                manifest = json.loads(self.manifest_path(key).read_text())
+            except (OSError, ValueError):
+                pass
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            stored_at = manifest.get("stored_at")
+            rows.append(
+                {
+                    "key": key,
+                    "phase": manifest.get("phase"),
+                    "size": size,
+                    "stored_at": stored_at,
+                    "age_seconds": (now - stored_at) if stored_at else None,
+                    "builds": self.build_count(key),
+                    "code_computed_at": manifest.get("code_computed_at"),
+                }
+            )
+        rows.sort(key=lambda row: row["stored_at"] or 0.0, reverse=True)
+        return rows
 
     def prune(self) -> int:
         """Remove every entry; returns the number of pickles deleted."""

@@ -9,7 +9,11 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.cache import ArtifactCache, artifact_key
+from repro.core.cache import (
+    ArtifactCache,
+    phase_code_version,
+    pipeline_phase_keys,
+)
 from repro.enumeration import (
     EnumerationStats,
     StateGraph,
@@ -19,16 +23,35 @@ from repro.enumeration import (
     make_worker_pool,
 )
 from repro.harness.compare import ComparisonResult, run_vector_traces
+from repro.incremental.diff import LOCALIZED, NO_OP, diff_models
+from repro.incremental.edits import EditedPPControl, ModelEdit
+from repro.incremental.recent import RecentBuilds
+from repro.incremental.replay import incremental_enumerate
+from repro.incremental.report import IncrementalReport
+from repro.incremental.splice import (
+    clean_flags_for,
+    dirty_flags,
+    edge_costs,
+    export_memo,
+    graphs_equal,
+    import_memo,
+    splice_traces,
+    tour_clean_flags,
+)
 from repro.obs.observer import Observer, resolve
 from repro.pp.fsm_model import PPModelConfig, pp_control_model
 from repro.pp.rtl.core import CoreConfig
 from repro.resilience import Budget, CheckpointConfig, RetryPolicy
+from repro.smurphi.fingerprint import fingerprint_model
 from repro.tour import IndexedTourGenerator, TourSet
+from repro.tour.fig33 import Tour
 from repro.vectors import (
     TraceSet,
     TransitionEventMemo,
     VectorGenerator,
+    pack_trace_set,
     pp_instruction_cost,
+    unpack_trace_set,
 )
 
 logger = logging.getLogger("repro.pipeline")
@@ -105,6 +128,22 @@ class ValidationPipeline:
         ``"interpreted"`` (see :mod:`repro.enumeration.kernel`).  Both
         produce bit-identical graphs, so the kernel is deliberately *not*
         part of the artifact cache key -- cached builds are shared.
+    edits:
+        Ordered :class:`~repro.incremental.ModelEdit` rewrites layered on
+        the control model (see :mod:`repro.incremental.edits`).  Their
+        semantic digests join the model cache key.
+    incremental:
+        When a cached build of a *different* (but related) model exists,
+        try to serve this build by model-diffing against it: adopt its
+        entries wholesale on a no-op diff, re-enumerate only the dirty
+        region and splice tours/traces on a localized diff.  The result
+        is byte-identical to a cold build either way -- disabling this
+        only ever costs time (kept as an escape hatch / A-B switch).
+    phase_code_overrides:
+        Mapping ``phase -> digest`` overriding the per-phase code digests
+        used for cache keys.  A test/benchmark hook: salting a phase's
+        digest simulates a source edit to that phase's modules without
+        touching the tree.
     """
 
     def __init__(
@@ -122,6 +161,9 @@ class ValidationPipeline:
         budget: Optional[Budget] = None,
         retry: Optional[RetryPolicy] = None,
         kernel: str = "compiled",
+        edits: Sequence[ModelEdit] = (),
+        incremental: bool = True,
+        phase_code_overrides: Optional[Dict[str, str]] = None,
     ):
         self.model_config = model_config or PPModelConfig(fill_words=2)
         self.max_instructions_per_trace = max_instructions_per_trace
@@ -136,13 +178,24 @@ class ValidationPipeline:
         self.budget = budget
         self.retry = retry
         self.kernel = kernel
-        self.control = pp_control_model(self.model_config)
+        self.edits = tuple(edits)
+        self.incremental = incremental
+        self.phase_code_overrides = dict(phase_code_overrides or {})
+        base = pp_control_model(self.model_config)
+        self.control = EditedPPControl(base, self.edits) if self.edits else base
         self._pool: Optional[WorkerPool] = None
         self._artifacts: Optional[PipelineArtifacts] = None
-        #: True when the last :meth:`build` was served from the cache.
+        #: True when the last :meth:`build` was served entirely from cache.
         self.artifacts_from_cache = False
-        #: Content address of the last build (set whenever caching is on).
+        #: Content address of the last build (the traces phase key -- the
+        #: end of the chain, so it covers every input; set when caching on).
         self.cache_key: Optional[str] = None
+        #: Per-phase cache keys of the last build (see ``pipeline_phase_keys``).
+        self.phase_keys: Optional[Dict[str, str]] = None
+        #: Per-phase cache outcome of the last build.
+        self.phase_hits: Dict[str, bool] = {}
+        #: What the incremental layer did for the last build.
+        self.incremental_report: Optional[IncrementalReport] = None
 
     @property
     def cache_info(self) -> Dict[str, Any]:
@@ -151,6 +204,13 @@ class ValidationPipeline:
             "enabled": self.cache_dir is not None,
             "hit": self.artifacts_from_cache,
             "key": self.cache_key,
+            "phase_keys": self.phase_keys,
+            "phase_hits": dict(self.phase_hits),
+            "incremental": (
+                self.incremental_report.to_dict()
+                if self.incremental_report is not None
+                else None
+            ),
         }
 
     @property
@@ -200,12 +260,68 @@ class ValidationPipeline:
         if self._pool is not None:
             self._pool.shutdown()
 
-    def _cache_key(self) -> str:
-        return artifact_key(
+    def _phase_digests(self) -> Dict[str, str]:
+        """The per-phase code digests this pipeline keys with."""
+        return {
+            phase: self.phase_code_overrides.get(phase)
+            or phase_code_version(phase)
+            for phase in ("model", "graph", "tours", "traces")
+        }
+
+    def _compute_phase_keys(self) -> Dict[str, str]:
+        return pipeline_phase_keys(
             self.model_config,
             record_all_conditions=self.record_all_conditions,
             max_instructions_per_trace=self.max_instructions_per_trace,
             seed=self.seed,
+            edits=self.edits,
+            code_digests=self.phase_code_overrides,
+        )
+
+    def _build_flags(self) -> Dict[str, Any]:
+        return {
+            "record_all_conditions": self.record_all_conditions,
+            "max_instructions_per_trace": self.max_instructions_per_trace,
+            "seed": self.seed,
+        }
+
+    def _phase_manifest(self, phase: str, **extra: Any) -> Dict[str, Any]:
+        manifest = {"phase": phase, "model_config": self.model_config}
+        manifest.update(self._build_flags())
+        manifest.update(extra)
+        return manifest
+
+    def _record_phase(self, phase: str, hit: bool, obs: Observer) -> None:
+        self.phase_hits[phase] = hit
+        if hit:
+            obs.inc("cache.phase_hits", phase=phase)
+        else:
+            obs.inc("cache.phase_misses", phase=phase)
+
+    def _load_artifacts_from_phases(
+        self, cache: ArtifactCache, keys: Dict[str, str]
+    ) -> Optional[PipelineArtifacts]:
+        """Assemble a full build from the per-phase entries, or ``None``."""
+        graph_entry = cache.load(keys["graph"])
+        if graph_entry is None:
+            return None
+        tours_entry = cache.load(keys["tours"])
+        if tours_entry is None:
+            return None
+        traces_entry = cache.load(keys["traces"])
+        if traces_entry is None:
+            return None
+        graph = graph_entry["graph"]
+        tours = TourSet(
+            graph,
+            [Tour(list(e), n) for e, n in tours_entry["tours"]],
+            tours_entry["generation_seconds"],
+        )
+        return PipelineArtifacts(
+            graph=graph,
+            enumeration=graph_entry["stats"],
+            tours=tours,
+            traces=unpack_trace_set(traces_entry["traces"]),
         )
 
     def build(
@@ -242,16 +358,24 @@ class ValidationPipeline:
 
         with obs.span("pipeline.build", jobs=jobs or 0):
             cache = ArtifactCache(cache_dir) if cache_dir else None
+            self.phase_hits = {}
+            self.incremental_report = IncrementalReport(enabled=self.incremental)
             lock = nullcontext(False)
             if cache is not None:
-                self.cache_key = self._cache_key()
+                self.phase_keys = self._compute_phase_keys()
+                self.cache_key = self.phase_keys["traces"]
                 if use_cache and not resume:
                     with obs.span("phase.cache_load"):
-                        cached = cache.load(self.cache_key)
+                        cached = self._load_artifacts_from_phases(
+                            cache, self.phase_keys
+                        )
                     if cached is not None:
                         obs.inc("cache.hits")
                         obs.event("cache.hit", key=self.cache_key)
                         logger.info("artifact cache hit (%s)", self.cache_key[:12])
+                        for phase in ("model", "graph", "tours", "traces"):
+                            self._record_phase(phase, True, obs)
+                        obs.heartbeat("cache", phase_hits=dict(self.phase_hits))
                         self._artifacts = cached
                         self.artifacts_from_cache = True
                         return cached
@@ -266,7 +390,9 @@ class ValidationPipeline:
                 if waited and use_cache and not resume:
                     obs.inc("cache.single_flight_waits")
                     with obs.span("phase.cache_load"):
-                        cached = cache.load(self.cache_key)
+                        cached = self._load_artifacts_from_phases(
+                            cache, self.phase_keys
+                        )
                     if cached is not None:
                         obs.inc("cache.hits")
                         obs.event("cache.hit", key=self.cache_key,
@@ -275,89 +401,497 @@ class ValidationPipeline:
                             "artifact cache hit after single-flight wait (%s)",
                             self.cache_key[:12],
                         )
+                        for phase in ("model", "graph", "tours", "traces"):
+                            self._record_phase(phase, True, obs)
+                        obs.heartbeat("cache", phase_hits=dict(self.phase_hits))
                         self._artifacts = cached
                         self.artifacts_from_cache = True
                         return cached
                 return self._build_locked(
-                    cache, jobs, resume, faults, checkpoint, obs
+                    cache, use_cache, jobs, resume, faults, checkpoint, obs
                 )
 
     def _build_locked(
-        self, cache, jobs, resume, faults, checkpoint, obs
+        self, cache, use_cache, jobs, resume, faults, checkpoint, obs
     ) -> PipelineArtifacts:
-        """Steps 1-3 proper, run under the single-flight lock on a miss."""
+        """Steps 1-3 as per-phase load-or-build, under the single-flight lock.
+
+        Each phase first tries its own cache entry (so a seed change reuses
+        the graph and tours, a tour-code edit reuses the graph, ...); a
+        phase that builds persists its entry immediately.  Before the graph
+        phase, the incremental preparer may satisfy the missing keys from a
+        *related* prior build via model diffing (see
+        :meth:`_incremental_prepare`).
+        """
+        keys = self.phase_keys
+        report = self.incremental_report
+        read_ok = cache is not None and use_cache and not resume
+        # Incremental reuse needs a plain build: resume/budget/faults runs
+        # have their own semantics (partial graphs, injected failures)
+        # that the replay engine deliberately does not reproduce.
+        plain = read_ok and self.budget is None and faults is None
+
         with obs.span("phase.model_build"):
             model = self.control.build()
-        with obs.span("phase.enumerate", jobs=jobs or 0):
-            if jobs is None or jobs > 1:
-                graph, stats = enumerate_states_parallel(
-                    model, jobs=jobs,
-                    record_all_conditions=self.record_all_conditions,
-                    obs=obs,
-                    checkpoint=checkpoint,
-                    resume=resume,
-                    budget=self.budget,
-                    retry=self.retry,
-                    faults=faults,
-                    kernel=self.kernel,
-                    pool=self.worker_pool(jobs),
+
+        fingerprint = None
+        if cache is not None:
+            with obs.span("phase.fingerprint"):
+                fingerprint = fingerprint_model(model)
+            model_hit = read_ok and cache.has(keys["model"])
+            self._record_phase("model", model_hit, obs)
+            if not model_hit:
+                cache.store(
+                    keys["model"],
+                    {"fingerprint": fingerprint},
+                    manifest=self._phase_manifest(
+                        "model", stable=fingerprint.stable
+                    ),
                 )
-            else:
-                graph, stats = enumerate_states(
-                    model,
-                    record_all_conditions=self.record_all_conditions,
-                    obs=obs,
-                    checkpoint=checkpoint,
-                    resume=resume,
-                    budget=self.budget,
-                    faults=faults,
-                    kernel=self.kernel,
+
+        prepared: Dict[str, Any] = {}
+        if plain and self.incremental and not cache.has(keys["graph"]):
+            prepared = self._incremental_prepare(
+                cache, keys, model, fingerprint, obs, report
+            )
+
+        # -- graph ----------------------------------------------------------
+        graph = prepared.get("graph")
+        stats = prepared.get("stats")
+        if graph is None and read_ok:
+            entry = cache.load(keys["graph"])
+            if entry is not None:
+                graph, stats = entry["graph"], entry["stats"]
+                self._record_phase("graph", True, obs)
+        if graph is None:
+            if cache is not None and "graph" not in self.phase_hits:
+                self._record_phase("graph", False, obs)
+            with obs.span("phase.enumerate", jobs=jobs or 0):
+                if jobs is None or jobs > 1:
+                    graph, stats = enumerate_states_parallel(
+                        model, jobs=jobs,
+                        record_all_conditions=self.record_all_conditions,
+                        obs=obs,
+                        checkpoint=checkpoint,
+                        resume=resume,
+                        budget=self.budget,
+                        retry=self.retry,
+                        faults=faults,
+                        kernel=self.kernel,
+                        pool=self.worker_pool(jobs),
+                    )
+                else:
+                    graph, stats = enumerate_states(
+                        model,
+                        record_all_conditions=self.record_all_conditions,
+                        obs=obs,
+                        checkpoint=checkpoint,
+                        resume=resume,
+                        budget=self.budget,
+                        faults=faults,
+                        kernel=self.kernel,
+                    )
+            if cache is not None and not stats.truncated:
+                cache.store(
+                    keys["graph"],
+                    {"graph": graph, "stats": stats},
+                    manifest=self._phase_manifest(
+                        "graph",
+                        num_states=graph.num_states,
+                        num_edges=graph.num_edges,
+                    ),
                 )
+                obs.inc("cache.stores")
         if stats.truncated:
             logger.warning(
                 "enumeration truncated by budget (%s): building tours/"
                 "vectors over the partial graph; result will not be cached",
                 stats.budget_outcome,
             )
+
         # One transition-event memo spans both back-half phases: the
         # tour cost function touches every arc, so vector generation
-        # finds it fully warm and replays no transition twice.
-        memo = TransitionEventMemo(self.control, graph)
-        with obs.span("phase.tours"):
-            cost = pp_instruction_cost(self.control, graph, memo=memo)
-            tours = IndexedTourGenerator(
-                graph,
-                instruction_cost=cost,
-                max_instructions_per_trace=self.max_instructions_per_trace,
-            ).generate(obs=obs)
-        with obs.span("phase.vectors", jobs=jobs or 0):
-            traces = VectorGenerator(
-                self.control, graph, seed=self.seed, memo=memo
-            ).generate(
-                list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1),
-                pool=self.worker_pool(jobs),
-            )
+        # finds it fully warm and replays no transition twice.  The
+        # incremental preparer may hand over a memo already warmed by
+        # transplanting clean entries from the prior build's sidecar.
+        memo = prepared.get("memo") or TransitionEventMemo(self.control, graph)
+
+        # -- tours ----------------------------------------------------------
+        tours = prepared.get("tours")
+        if tours is None and read_ok:
+            entry = cache.load(keys["tours"])
+            if entry is not None:
+                tours = TourSet(
+                    graph,
+                    [Tour(list(e), n) for e, n in entry["tours"]],
+                    entry["generation_seconds"],
+                )
+                self._record_phase("tours", True, obs)
+                # Warm the memo from the tours sidecar: the key chain
+                # guarantees the entries were computed for exactly this
+                # model and graph, so every row imports.  Pointless when
+                # the traces entry is also present -- nothing downstream
+                # will touch the memo -- so only pay for it on a miss.
+                if not cache.has(keys["traces"]):
+                    sidecar = cache.load(keys["splice"])
+                    if sidecar is not None:
+                        import_memo(memo, graph, sidecar["memo"])
+        if tours is None:
+            if cache is not None and "tours" not in self.phase_hits:
+                self._record_phase("tours", False, obs)
+            with obs.span("phase.tours"):
+                cost = pp_instruction_cost(self.control, graph, memo=memo)
+                tours = IndexedTourGenerator(
+                    graph,
+                    instruction_cost=cost,
+                    max_instructions_per_trace=self.max_instructions_per_trace,
+                ).generate(obs=obs)
+            if cache is not None and not stats.truncated:
+                self._store_tours(cache, keys, tours, memo, graph, obs)
+
+        # -- traces ---------------------------------------------------------
+        traces = prepared.get("traces")
+        if traces is None and read_ok:
+            entry = cache.load(keys["traces"])
+            if entry is not None:
+                traces = unpack_trace_set(entry["traces"])
+                self._record_phase("traces", True, obs)
+        if traces is None:
+            if cache is not None and "traces" not in self.phase_hits:
+                self._record_phase("traces", False, obs)
+            with obs.span("phase.vectors", jobs=jobs or 0):
+                traces = VectorGenerator(
+                    self.control, graph, seed=self.seed, memo=memo
+                ).generate(
+                    list(tours), obs=obs, jobs=jobs or (os.cpu_count() or 1),
+                    pool=self.worker_pool(jobs),
+                )
+            if cache is not None and not stats.truncated:
+                with obs.span("phase.cache_store"):
+                    cache.store(
+                        keys["traces"],
+                        {"traces": pack_trace_set(traces)},
+                        manifest=self._phase_manifest(
+                            "traces", num_traces=traces.num_traces
+                        ),
+                    )
+                obs.inc("cache.stores")
+
         self._artifacts = PipelineArtifacts(
             graph=graph, enumeration=stats, tours=tours, traces=traces
         )
         self.artifacts_from_cache = False
-        if cache is not None and not stats.truncated:
-            with obs.span("phase.cache_store"):
-                cache.store(
-                    self.cache_key,
-                    self._artifacts,
-                    manifest={
-                        "model_config": self.model_config,
-                        "record_all_conditions": self.record_all_conditions,
-                        "max_instructions_per_trace": self.max_instructions_per_trace,
-                        "seed": self.seed,
-                        "num_states": graph.num_states,
-                        "num_edges": graph.num_edges,
-                        "num_traces": traces.num_traces,
-                    },
+        if cache is not None:
+            obs.heartbeat("cache", phase_hits=dict(self.phase_hits))
+            if not stats.truncated:
+                RecentBuilds(cache.cache_dir).record(
+                    flags=self._build_flags(),
+                    keys=keys,
+                    digests=self._phase_digests(),
+                    config=repr(self.model_config),
                 )
-            obs.inc("cache.stores")
         return self._artifacts
+
+    def _store_tours(self, cache, keys, tours, memo, graph, obs) -> None:
+        """Persist the tours entry plus its splice sidecar.
+
+        The sidecar (per-edge instruction costs + the memo's transition
+        outcomes, keyed by packed state) is what lets a *later* build
+        splice against this one without replaying transitions.  Tour
+        generation just touched every arc, so the memo is fully warm and
+        exporting it costs only the pickle.
+        """
+        cache.store(
+            keys["tours"],
+            {
+                "tours": [(list(t.edge_indices), t.instructions) for t in tours],
+                "generation_seconds": tours.stats.generation_seconds,
+            },
+            manifest=self._phase_manifest("tours", num_tours=len(tours)),
+        )
+        cache.store(
+            keys["splice"],
+            {
+                "edge_costs": edge_costs(memo, graph),
+                "memo": export_memo(memo, graph),
+            },
+            manifest=self._phase_manifest("splice"),
+        )
+        obs.inc("cache.stores")
+
+    def _incremental_prepare(
+        self,
+        cache: ArtifactCache,
+        keys: Dict[str, str],
+        model,
+        fingerprint,
+        obs: Observer,
+        report: IncrementalReport,
+    ) -> Dict[str, Any]:
+        """Try to satisfy this build's phase keys from a *related* build.
+
+        Scans the recent-builds journal newest-first for a candidate whose
+        cached model fingerprint diffs as no-op or localized against the
+        current model.  On a no-op the candidate's entries are adopted by
+        byte-copy under this build's keys (the normal load path then finds
+        them); on a localized diff the dirty region is re-enumerated, the
+        graph grafted, and cached tours/traces spliced where sound.
+
+        Returns a (possibly empty) dict of prepared artifacts for
+        :meth:`_build_locked` -- ``graph``/``stats``/``memo`` and,
+        when splicing succeeded, ``tours``/``traces``.  Any exception
+        falls back to the cold path: incremental reuse is an
+        optimization, never a correctness dependency.
+        """
+        try:
+            return self._incremental_prepare_inner(
+                cache, keys, model, fingerprint, obs, report
+            )
+        except Exception as exc:  # noqa: BLE001 -- fall back to full rebuild
+            logger.warning(
+                "incremental preparation failed (%s); falling back to a "
+                "full rebuild", exc,
+            )
+            report.fallback_reason = f"error: {exc}"
+            obs.inc("incremental.fallbacks")
+            return {}
+
+    def _incremental_prepare_inner(
+        self, cache, keys, model, fingerprint, obs, report
+    ) -> Dict[str, Any]:
+        journal = RecentBuilds(cache.cache_dir).entries()
+        if not journal:
+            report.fallback_reason = "no prior builds in journal"
+            return {}
+        if not fingerprint.stable:
+            report.fallback_reason = "current model fingerprint unstable"
+            return {}
+        digests = self._phase_digests()
+        flags = self._build_flags()
+        edit_by_digest = {edit.digest(): edit for edit in self.edits}
+        last_reason = "no candidate survived diffing"
+
+        for cand in journal:
+            ckeys = cand.get("keys", {})
+            cflags = cand.get("flags", {})
+            cdigests = cand.get("digests", {})
+            if ckeys.get("traces") == keys["traces"]:
+                continue  # that *is* this build; its entries were pruned
+            if cand.get("config") != repr(self.model_config):
+                continue  # different scaling: structural by construction
+            model_entry = cache.load(ckeys.get("model", ""))
+            if model_entry is None:
+                last_reason = "candidate model entry pruned"
+                continue
+            diff = diff_models(model_entry["fingerprint"], fingerprint)
+            if diff.classification not in (NO_OP, LOCALIZED):
+                last_reason = f"structural diff: {diff.reason}"
+                continue
+
+            # Phase adoptability: the candidate's entry is byte-identical
+            # to what we would build only if the *code* that phase runs
+            # and the flags it keys on are unchanged.  Chained: a phase
+            # is only adoptable if everything upstream of it is.
+            graph_ok = (
+                cdigests.get("graph") == digests["graph"]
+                and cflags.get("record_all_conditions")
+                == flags["record_all_conditions"]
+            )
+            tours_ok = (
+                graph_ok
+                and cdigests.get("tours") == digests["tours"]
+                and cflags.get("max_instructions_per_trace")
+                == flags["max_instructions_per_trace"]
+            )
+            traces_ok = (
+                tours_ok
+                and cdigests.get("traces") == digests["traces"]
+                and cflags.get("seed") == flags["seed"]
+            )
+            if not graph_ok:
+                last_reason = "graph phase code/flags changed"
+                continue
+
+            report.attempted = True
+            report.classification = diff.classification
+            report.base_key = ckeys.get("traces")
+
+            if diff.classification == NO_OP:
+                return self._adopt_no_op(
+                    cache, keys, ckeys, tours_ok, traces_ok, obs, report
+                )
+
+            # Localized: every added rule must be one of *our* edits so we
+            # hold its scope predicate; otherwise the dirty region is
+            # unknowable and the diff is structural for our purposes.
+            try:
+                scopes = [edit_by_digest[d].scope for d in diff.added_rules]
+            except KeyError:
+                report.attempted = False
+                last_reason = "added rule not among this pipeline's edits"
+                continue
+            prepared = self._splice_localized(
+                cache, keys, ckeys, model, scopes,
+                tours_ok, traces_ok, obs, report,
+            )
+            if prepared:
+                return prepared
+            report.attempted = False
+            last_reason = report.fallback_reason or last_reason
+
+        report.fallback_reason = last_reason
+        return {}
+
+    def _adopt_no_op(
+        self, cache, keys, ckeys, tours_ok, traces_ok, obs, report
+    ) -> Dict[str, Any]:
+        """Byte-copy a no-op candidate's entries under this build's keys.
+
+        The diff proved the models semantically identical, so each
+        adoptable phase's cached bytes *are* what a cold build would
+        store.  The normal per-phase load path then hits on our keys.
+        """
+        adopted = []
+        if cache.copy_entry(ckeys["graph"], keys["graph"]):
+            adopted.append("graph")
+            if tours_ok and cache.copy_entry(ckeys["tours"], keys["tours"]):
+                adopted.append("tours")
+                cache.copy_entry(ckeys["splice"], keys["splice"])
+                if traces_ok and cache.copy_entry(
+                    ckeys["traces"], keys["traces"]
+                ):
+                    adopted.append("traces")
+        report.adopted_phases = tuple(adopted)
+        if not adopted:
+            report.fallback_reason = "candidate entries pruned"
+        obs.inc("incremental.adoptions", len(adopted))
+        obs.event(
+            "incremental.adopt", base=report.base_key, phases=adopted
+        )
+        logger.info(
+            "incremental: no-op diff vs %s; adopted %s",
+            (report.base_key or "")[:12], adopted or "nothing",
+        )
+        return {}
+
+    def _splice_localized(
+        self, cache, keys, ckeys, model, scopes, tours_ok, traces_ok,
+        obs, report,
+    ) -> Dict[str, Any]:
+        """Region re-enumeration + graft + tour/trace splice (localized)."""
+        graph_entry = cache.load(ckeys["graph"])
+        if graph_entry is None:
+            report.fallback_reason = "candidate graph entry pruned"
+            return {}
+        old_graph = graph_entry["graph"]
+        dirty = dirty_flags(model, old_graph, scopes)
+        report.dirty_states = sum(dirty)
+
+        with obs.span("phase.incremental_replay"):
+            graph, stats, counts = incremental_enumerate(
+                model, old_graph, dirty,
+                record_all_conditions=self.record_all_conditions,
+                kernel=self.kernel,
+                obs=obs,
+            )
+        report.region_states = counts["region_states"]
+        report.replayed_states = counts["replayed"]
+        # A zero-state region is a pure replay -- effectively a cache hit;
+        # any kernel expansion makes the phase an (incremental) rebuild.
+        self._record_phase("graph", counts["region_states"] == 0, obs)
+        cache.store(
+            keys["graph"],
+            {"graph": graph, "stats": stats},
+            manifest=self._phase_manifest(
+                "graph",
+                num_states=graph.num_states,
+                num_edges=graph.num_edges,
+                incremental_base=ckeys.get("traces"),
+            ),
+        )
+        obs.inc("cache.stores")
+        adopted = ["graph"]
+        prepared: Dict[str, Any] = {"graph": graph, "stats": stats}
+
+        # Warm the memo with the candidate's transition outcomes for
+        # clean states; dirty states recompute under the edited model.
+        memo = TransitionEventMemo(self.control, graph)
+        clean = clean_flags_for(graph, old_graph, dirty)
+        sidecar = cache.load(ckeys.get("splice", ""))
+        if sidecar is not None:
+            import_memo(memo, graph, sidecar["memo"], clean=clean)
+        prepared["memo"] = memo
+
+        # Tours are adopted wholesale only when provably identical:
+        # same graph content and same per-edge costs (tour generation
+        # is a deterministic function of exactly those inputs).
+        report.reused_graph = graphs_equal(graph, old_graph)
+        if not (tours_ok and report.reused_graph and sidecar is not None):
+            report.adopted_phases = tuple(adopted)
+            return prepared
+        costs = edge_costs(memo, graph)
+        if costs != sidecar["edge_costs"]:
+            report.adopted_phases = tuple(adopted)
+            return prepared
+        tours_entry = cache.load(ckeys["tours"])
+        if tours_entry is None:
+            report.adopted_phases = tuple(adopted)
+            return prepared
+        tours = TourSet(
+            graph,
+            [Tour(list(e), n) for e, n in tours_entry["tours"]],
+            tours_entry["generation_seconds"],
+        )
+        # Store under *our* keys -- but export our own memo, not the
+        # candidate's sidecar: its dirty-state rows reflect the old model.
+        self._store_tours(cache, keys, tours, memo, graph, obs)
+        adopted.append("tours")
+        prepared["tours"] = tours
+        self._record_phase("tours", True, obs)
+
+        if traces_ok:
+            traces_entry = cache.load(ckeys["traces"])
+            if traces_entry is not None:
+                old_traces = unpack_trace_set(traces_entry["traces"])
+                tour_clean = tour_clean_flags(graph, list(tours), clean)
+                generator = VectorGenerator(
+                    self.control, graph, seed=self.seed, memo=memo
+                )
+                with obs.span("phase.incremental_splice"):
+                    spliced, reused, regenerated = splice_traces(
+                        generator, list(tours), old_traces.traces, tour_clean
+                    )
+                traces = TraceSet(traces=spliced)
+                cache.store(
+                    keys["traces"],
+                    {"traces": pack_trace_set(traces)},
+                    manifest=self._phase_manifest(
+                        "traces",
+                        num_traces=traces.num_traces,
+                        incremental_base=ckeys.get("traces"),
+                    ),
+                )
+                obs.inc("cache.stores")
+                adopted.append("traces")
+                prepared["traces"] = traces
+                report.spliced_tours = reused
+                report.regenerated_traces = regenerated
+                obs.inc("incremental.spliced_tours", reused)
+                self._record_phase("traces", reused > 0 and regenerated == 0, obs)
+
+        report.adopted_phases = tuple(adopted)
+        obs.event(
+            "incremental.splice", base=report.base_key, phases=adopted,
+            region=report.region_states, spliced=report.spliced_tours,
+        )
+        logger.info(
+            "incremental: localized diff vs %s; region=%d replayed=%d "
+            "spliced=%d regenerated=%d",
+            (report.base_key or "")[:12], report.region_states,
+            report.replayed_states, report.spliced_tours,
+            report.regenerated_traces,
+        )
+        return prepared
 
     @property
     def artifacts(self) -> PipelineArtifacts:

@@ -95,6 +95,7 @@ class ValidationCampaign:
         budget=None,
         resume: bool = False,
         kernel: str = "compiled",
+        incremental: bool = True,
     ):
         from repro.core.pipeline import ValidationPipeline
 
@@ -114,6 +115,7 @@ class ValidationCampaign:
             checkpoint_every=checkpoint_every,
             budget=budget,
             kernel=kernel,
+            incremental=incremental,
         )
         artifacts = self.pipeline.build(resume=resume)
         if artifacts.enumeration.truncated:

@@ -1,0 +1,42 @@
+"""Dependency-aware incremental revalidation.
+
+This package turns the common edit-and-revalidate loop into seconds, not
+minutes, while keeping one absolute bar: **every incremental result is
+byte-identical to a cold build of the same model**.  Three cooperating
+pieces (see DESIGN.md §14):
+
+- a semantic diff of model fingerprints (:mod:`.diff`) that classifies an
+  edit as *no-op* (adopt every cached phase), *localized* (re-enumerate
+  only the dirty region and splice), or *structural* (full rebuild);
+- a replaying enumerator (:mod:`.replay`) that walks the same BFS order as
+  a cold run but copies cached out-edges for states the diff proved clean;
+- a splicer (:mod:`.splice`) that reuses cached tours and vector traces
+  whose arcs avoid the dirty region and regenerates only the rest.
+
+Whenever any piece is unsure -- unstable fingerprint, missing cached
+entry, flag mismatch -- it falls back to the full rebuild path, so the
+worst case is wasted time, never a wrong artifact.
+"""
+
+from repro.incremental.diff import ModelDiff, diff_models
+from repro.incremental.edits import (
+    EDIT_CATALOG,
+    EditedPPControl,
+    ModelEdit,
+    resolve_edits,
+)
+from repro.incremental.recent import RecentBuilds
+from repro.incremental.replay import incremental_enumerate
+from repro.incremental.report import IncrementalReport
+
+__all__ = [
+    "EDIT_CATALOG",
+    "EditedPPControl",
+    "IncrementalReport",
+    "ModelDiff",
+    "ModelEdit",
+    "RecentBuilds",
+    "diff_models",
+    "incremental_enumerate",
+    "resolve_edits",
+]

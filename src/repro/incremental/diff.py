@@ -1,0 +1,99 @@
+"""Classify the difference between two model fingerprints.
+
+The classifier is the safety gate of the incremental layer: artifacts are
+only reused along paths it explicitly blesses, and every "don't know"
+collapses to ``structural`` -- a full rebuild, which is always correct.
+
+Taxonomy
+--------
+``no-op``
+    The fingerprints are completely equal: same core (name, state vars,
+    choices, invariants, base step) and same rule stack.  Every cached
+    phase can be adopted wholesale.
+``localized``
+    Same core, and the old rule stack is an *ordered subsequence* of the
+    new one -- the edit only appended/inserted rules.  Because rewrites
+    compose in order and each added rule declares a scope, the states
+    whose outgoing transitions can differ are exactly those where some
+    added rule's scope holds (the dirty region); everything else replays
+    from cache.  Removals, reorders and in-place rule changes do *not*
+    qualify: a removed rewrite's effects are already baked into cached
+    artifacts and cannot be un-spliced cheaply, so they classify as
+    structural.
+``structural``
+    Anything else -- including either fingerprint being unstable
+    (``stable=False`` means the canonicalizer met something it could not
+    digest, so equality is unknowable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.smurphi.fingerprint import ModelFingerprint
+
+NO_OP = "no-op"
+LOCALIZED = "localized"
+STRUCTURAL = "structural"
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelDiff:
+    """Outcome of :func:`diff_models`.
+
+    ``added_rules`` holds the semantic digests of the rules present in the
+    new model but not the old one (order preserved) -- only meaningful for
+    ``localized``.
+    """
+
+    classification: str
+    added_rules: Tuple[str, ...] = ()
+    reason: str = ""
+
+
+def _is_subsequence(old: Tuple[str, ...], new: Tuple[str, ...]) -> Tuple[bool, Tuple[str, ...]]:
+    """Greedy subsequence match on rule digests; returns (ok, added)."""
+    added = []
+    pos = 0
+    for want in old:
+        while pos < len(new) and new[pos] != want:
+            added.append(new[pos])
+            pos += 1
+        if pos == len(new):
+            return False, ()
+        pos += 1
+    added.extend(new[pos:])
+    return True, tuple(added)
+
+
+def diff_models(old: ModelFingerprint, new: ModelFingerprint) -> ModelDiff:
+    """Classify the edit taking ``old`` to ``new`` (see module docstring)."""
+    if not old.stable or not new.stable:
+        return ModelDiff(
+            STRUCTURAL,
+            reason="unstable fingerprint: canonicalization failed somewhere, "
+            "equality is unknowable",
+        )
+    if old == new:
+        return ModelDiff(NO_OP, reason="fingerprints identical")
+    if old.core() != new.core():
+        return ModelDiff(
+            STRUCTURAL,
+            reason="model core changed (state vars, choices, invariants, "
+            "base step or name)",
+        )
+    old_rules = tuple(digest for _, digest in old.rules)
+    new_rules = tuple(digest for _, digest in new.rules)
+    ok, added = _is_subsequence(old_rules, new_rules)
+    if not ok or not added:
+        return ModelDiff(
+            STRUCTURAL,
+            reason="rule stack changed by removal, reorder or in-place "
+            "rewrite; cached effects cannot be un-spliced",
+        )
+    return ModelDiff(
+        LOCALIZED,
+        added_rules=added,
+        reason=f"{len(added)} rule(s) inserted into an unchanged core",
+    )

@@ -1,0 +1,182 @@
+"""Declarative model edits: scoped rewrites over the PP control model.
+
+A :class:`ModelEdit` is the unit of change the incremental layer reasons
+about: a *scope* predicate naming the states it touches, plus a *rewrite*
+applied to the base transition's output inside that scope.  Because the
+scope is explicit, the diff classifier can mark exactly the states whose
+outgoing transitions may differ (the "dirty region") and replay everything
+else from the cached graph.
+
+:class:`EditedPPControl` layers an ordered list of edits onto a PP control
+model; its :meth:`~EditedPPControl.build` result carries the edits as
+``SyncModel.rules`` metadata so fingerprinting and diffing see them.
+
+:data:`EDIT_CATALOG` holds named, semantically pinned edits used by the
+serve API (jobs name edits, never ship code), the incremental benchmark,
+and the property tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.smurphi.fingerprint import canonical_digest
+from repro.smurphi.model import SyncModel
+
+#: ``(state, choice, next_state, events) -> (next_state, events)``
+Rewrite = Callable[[Mapping, Mapping, Dict, List[Tuple]], Tuple[Dict, List[Tuple]]]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelEdit:
+    """One scoped rewrite of the control model's transition function.
+
+    ``scope`` decides, from the *source* state alone, whether the rewrite
+    may fire -- this is what lets the diff bound the dirty region without
+    executing anything.  ``rewrite`` maps the base transition's
+    ``(next_state, events)`` to the edited pair; it must return
+    domain-valid values (``SyncModel.step`` re-validates every assignment,
+    so a violation fails fast rather than corrupting artifacts).
+    """
+
+    name: str
+    scope: Callable[[Mapping], bool]
+    rewrite: Rewrite
+    description: str = ""
+
+    def digest(self) -> str:
+        """Semantic digest: canonical bytecode of scope + rewrite.
+
+        Keyed into the model phase's cache key, so editing a rewrite's
+        *behaviour* re-keys every downstream artifact even though the
+        catalog name is unchanged.
+        """
+        return canonical_digest((self.name, self.scope, self.rewrite))
+
+
+class EditedPPControl:
+    """A PP control model with an ordered stack of :class:`ModelEdit`\\ s.
+
+    Exposes the same surface the pipeline and vector generator use on the
+    base control model (``config``, ``state_vars``, ``choices``,
+    ``choice_names``, ``step``/``transition_events``/``_step``, ``build``).
+    Rewrites compose in declaration order, each seeing the previous one's
+    output.
+    """
+
+    def __init__(self, base, edits: Sequence[ModelEdit]):
+        self.base = base
+        self.edits = tuple(edits)
+        self.config = base.config
+        self.state_vars = base.state_vars
+        self.choices = base.choices
+        self.choice_names = base.choice_names
+
+    def _step(self, state: Mapping, c: Mapping) -> Tuple[Dict, List[Tuple]]:
+        ns, events = self.base._step(state, c)
+        for edit in self.edits:
+            if edit.scope(state):
+                ns, events = edit.rewrite(state, c, ns, events)
+        return ns, events
+
+    def step(self, state: Mapping, choice: Mapping) -> Dict:
+        ns, _ = self._step(state, choice)
+        return ns
+
+    def transition_events(self, state: Mapping, choice: Mapping) -> List[Tuple]:
+        _, events = self._step(state, choice)
+        return events
+
+    def build(self) -> SyncModel:
+        base_model = self.base.build()
+        return SyncModel(
+            name=base_model.name,
+            state_vars=base_model.state_vars,
+            choices=base_model.choices,
+            next_state=self.step,
+            invariants=base_model.invariants,
+            rules=self.edits,
+            base_step=self.base.step,
+        )
+
+
+def _identity_rewrite(state, choice, ns, events):
+    return ns, events
+
+
+def _flip_inbox_during_refill(state, choice, ns, events):
+    # Events-only rewrite: invert the Inbox's answer while the I-refill is
+    # streaming.  Next states are untouched, so the state graph is
+    # byte-identical and only traces through the scope need regenerating.
+    out = []
+    for event in events:
+        if event[0] == "inbox_query":
+            out.append(("inbox_query", not event[1]))
+        else:
+            out.append(event)
+    return ns, out
+
+
+def _send_clears_st_pend(state, choice, ns, events):
+    # Next-state rewrite: a SEND in MEM retires the pending store's
+    # comparator early.  Changes reachable successors inside the scope, so
+    # the incremental path must re-enumerate and graft the region.
+    ns = dict(ns)
+    ns["st_pend"] = False
+    return ns, events
+
+
+EDIT_CATALOG: Dict[str, ModelEdit] = {
+    edit.name: edit
+    for edit in (
+        ModelEdit(
+            name="noop-touch",
+            scope=lambda s: False,
+            rewrite=_identity_rewrite,
+            description="Scope-empty identity rewrite: dirties nothing; "
+            "exercises the localized path with a zero-state region.",
+        ),
+        ModelEdit(
+            name="inbox-flip-fill-tail",
+            scope=lambda s: (
+                s["mem"] == "SWITCH"
+                and s["irefill"] == "FILL"
+                and s["st_pend"]
+                and s["ifill_cnt"] == 1
+                and s["ex"] == "SEND"
+            ),
+            rewrite=_flip_inbox_during_refill,
+            description="Single-condition change: flip the Inbox answer in "
+            "exactly one control state (refill tail, SEND in EX, store "
+            "pending) -- the smallest localized edit, most tours splice.",
+        ),
+        ModelEdit(
+            name="inbox-flip-refill",
+            scope=lambda s: s["mem"] == "SWITCH" and s["irefill"] == "FILL",
+            rewrite=_flip_inbox_during_refill,
+            description="Flip inbox_query events while the I-refill "
+            "streams: events-only, graph unchanged, localized trace splice.",
+        ),
+        ModelEdit(
+            name="send-clears-stpend",
+            scope=lambda s: s["mem"] == "SEND" and s["st_pend"],
+            rewrite=_send_clears_st_pend,
+            description="SEND in MEM clears st_pend: next-state change, "
+            "region re-enumeration and graft.",
+        ),
+    )
+}
+
+
+def resolve_edits(names: Sequence[str]) -> Tuple[ModelEdit, ...]:
+    """Map catalog names (order-preserving) to edits; unknown names raise."""
+    edits = []
+    for name in names:
+        if name not in EDIT_CATALOG:
+            raise KeyError(
+                f"unknown model edit {name!r}; catalog has "
+                f"{sorted(EDIT_CATALOG)}"
+            )
+        edits.append(EDIT_CATALOG[name])
+    return tuple(edits)

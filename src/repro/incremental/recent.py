@@ -1,0 +1,88 @@
+"""Journal of recent successful builds, per cache directory.
+
+Per-phase cache keys are content addresses: an edited model produces
+*different* keys, so the new build cannot find the old entries by key
+alone.  :class:`RecentBuilds` is the missing link -- an append-only JSONL
+journal (newest last, trimmed to ``limit``) recording, for every complete
+build: its phase keys, the per-phase code digests they were computed
+from, and the build flags.  The incremental preparer scans it newest-first
+for a candidate whose cached model fingerprint diffs as no-op or
+localized against the current model.
+
+Entries are advisory: a missing/corrupt journal, or a candidate whose
+entries were pruned, just means no incremental reuse this time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.resilience.atomic import atomic_write_text
+
+RECENT_SCHEMA = "repro.incremental-recent/1"
+
+
+class RecentBuilds:
+    """The ``<cache_dir>/incremental/recent.jsonl`` journal."""
+
+    def __init__(self, cache_dir, limit: int = 32):
+        self.path = Path(cache_dir) / "incremental" / "recent.jsonl"
+        self.limit = limit
+
+    def record(
+        self,
+        *,
+        flags: Dict[str, Any],
+        keys: Dict[str, str],
+        digests: Dict[str, str],
+        config: Any,
+    ) -> None:
+        """Append one build record (atomic rewrite, trimmed to ``limit``).
+
+        Deduplicates on the traces key -- rebuilding the same
+        configuration refreshes its position instead of flooding the
+        journal.
+        """
+        entry = {
+            "schema": RECENT_SCHEMA,
+            "flags": flags,
+            "keys": keys,
+            "digests": digests,
+            "config": config,
+            "stored_at": time.time(),
+        }
+        entries = [
+            e for e in self._read() if e.get("keys", {}).get("traces") != keys["traces"]
+        ]
+        entries.append(entry)
+        entries = entries[-self.limit :]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.path,
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries),
+        )
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All valid records, newest first."""
+        return list(reversed(self._read()))
+
+    def _read(self) -> List[Dict[str, Any]]:
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return []
+        out = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if entry.get("schema") == RECENT_SCHEMA:
+                out.append(entry)
+        return out

@@ -1,0 +1,47 @@
+"""Provenance record of one incremental build attempt."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclasses.dataclass
+class IncrementalReport:
+    """What the incremental layer did (or why it stood down).
+
+    Attached to ``ValidationPipeline.cache_info["incremental"]`` and the
+    serve job result, so operators can see whether a re-validation was
+    served by adoption (no-op), region splice (localized), or fell back
+    to a full rebuild -- and why.
+    """
+
+    #: The pipeline's ``incremental=`` switch.
+    enabled: bool = False
+    #: True when a candidate prior build was found and diffed.
+    attempted: bool = False
+    #: ``no-op`` / ``localized`` / ``structural`` (from the model diff).
+    classification: Optional[str] = None
+    #: Traces key of the prior build reused (if any).
+    base_key: Optional[str] = None
+    #: Phases whose entries were adopted or spliced in.
+    adopted_phases: Tuple[str, ...] = ()
+    #: Dirty-region size: states expanded through the kernel.
+    region_states: int = 0
+    #: States replayed from the cached graph.
+    replayed_states: int = 0
+    #: Old-graph states covered by an added rule's scope.
+    dirty_states: int = 0
+    #: Cached traces kept verbatim during the splice.
+    spliced_tours: int = 0
+    #: Traces regenerated because their tour touched the dirty region.
+    regenerated_traces: int = 0
+    #: True when the re-enumerated graph was content-equal to the cache.
+    reused_graph: bool = False
+    #: Why the layer fell back (or never engaged); ``None`` on success.
+    fallback_reason: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["adopted_phases"] = list(self.adopted_phases)
+        return out

@@ -73,7 +73,18 @@ _COMMON_DEFAULTS: Dict[str, Any] = {
 
 _KIND_DEFAULTS: Dict[str, Dict[str, Any]] = {
     "enumerate": {"record_all_conditions": False},
-    "validate": {"limit": 400, "seed": 0, "bugs": [], "run_all": False},
+    "validate": {
+        "limit": 400,
+        "seed": 0,
+        "bugs": [],
+        "run_all": False,
+        # Named model edits from repro.incremental.EDIT_CATALOG, applied
+        # in order.  Jobs name edits; they never ship code.
+        "edits": [],
+        # Allow serving this job by diff-and-splice against a cached
+        # build of a related model (byte-identical either way).
+        "incremental": True,
+    },
     "campaign": {"limit": 400, "seed": 0},
 }
 
@@ -107,6 +118,19 @@ def normalize_params(kind: str, params: Optional[Dict[str, Any]]) -> Dict[str, A
         raise JobSpecError(f"unknown kernel {normalized['kernel']!r}")
     if kind == "validate":
         normalized["bugs"] = sorted(int(b) for b in normalized["bugs"] or [])
+        from repro.incremental.edits import EDIT_CATALOG
+
+        edits = list(normalized["edits"] or [])
+        unknown_edits = sorted(set(edits) - set(EDIT_CATALOG))
+        if unknown_edits:
+            raise JobSpecError(
+                f"unknown model edit(s) {unknown_edits}; catalog: "
+                f"{sorted(EDIT_CATALOG)}"
+            )
+        # Order is semantic (rewrites compose), so it is preserved.
+        normalized["edits"] = edits
+        if not isinstance(normalized["incremental"], bool):
+            raise JobSpecError("incremental must be a boolean")
     chaos = normalized.get("chaos")
     if chaos is not None:
         if not isinstance(chaos, dict):
@@ -396,6 +420,7 @@ def _run_enumerate(model_config, params, paths, budget, faults, resume,
 def _run_validate(model_config, params, paths, cache_dir, budget, faults,
                   resume, observer) -> Dict[str, Any]:
     from repro.core.pipeline import ValidationPipeline
+    from repro.incremental.edits import resolve_edits
     from repro.pp.rtl.core import CoreConfig
 
     pipeline = ValidationPipeline(
@@ -408,6 +433,8 @@ def _run_validate(model_config, params, paths, cache_dir, budget, faults,
         checkpoint_dir=str(paths.checkpoints),
         budget=budget,
         kernel=params["kernel"],
+        edits=resolve_edits(params["edits"]),
+        incremental=params["incremental"],
     )
     pipeline.build(resume=resume, faults=faults)
     config = CoreConfig(mem_latency=0)
@@ -422,6 +449,7 @@ def _run_validate(model_config, params, paths, cache_dir, budget, faults,
         "total_traces": report.total_traces,
         "diverging_traces": len(report.diverging_traces),
         "bugs": params["bugs"],
+        "edits": params["edits"],
         "truncated": pipeline.artifacts.enumeration.truncated,
         "cache": pipeline.cache_info,
         "graph_path": str(paths.graph),

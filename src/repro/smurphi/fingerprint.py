@@ -1,0 +1,267 @@
+"""Canonical semantic fingerprints of :class:`~repro.smurphi.model.SyncModel`.
+
+The incremental-validation layer (``repro/incremental/``) needs to answer
+"did this edit change the model's *semantics*?" without enumerating
+anything.  A :class:`ModelFingerprint` digests the model per component --
+each state variable, each choice point, each invariant, the base step
+function, and each transition rule -- so a diff can classify an edit as
+no-op (all digests equal), localized (same core, rules appended) or
+structural (anything else).
+
+Digesting Python semantics is undecidable in general; this module is
+deliberately **conservative**.  Functions are digested by their compiled
+code objects (bytecode, constants, names, closure cells, defaults), which
+over-approximates behavioural change: semantically equivalent refactors
+get different digests (harmless -- worst case a full rebuild), while any
+behavioural change to the function body, its nested lambdas, or the values
+it closes over *does* change the digest.  Anything the walker cannot
+canonicalize raises :class:`UnstableDigest`, which callers map to
+``stable=False`` -- and an unstable fingerprint always diffs as
+structural, i.e. full rebuild.  The failure mode is wasted work, never a
+wrong artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import types
+from typing import Any, Tuple
+
+from repro.smurphi.model import SyncModel
+
+#: Bump when the canonicalization below changes, so fingerprints produced
+#: by old code are never compared against new ones.
+FINGERPRINT_SCHEMA = "repro.model-fingerprint/1"
+
+_MAX_DEPTH = 24
+
+_PRIMITIVES = (type(None), bool, int, float, str, bytes)
+
+
+class UnstableDigest(Exception):
+    """The walker met a value it cannot canonicalize deterministically."""
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _code_tokens(code: types.CodeType, depth: int) -> list:
+    """Canonical tokens for one compiled code object, nested code included."""
+    tokens: list = [
+        "code",
+        code.co_name,
+        code.co_argcount,
+        code.co_kwonlyargcount,
+        code.co_flags,
+        code.co_varnames,
+        code.co_names,
+        code.co_code.hex(),
+    ]
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            tokens.append(_code_tokens(const, depth + 1))
+        else:
+            tokens.append(_canonical(const, depth + 1))
+    return tokens
+
+
+def _function_tokens(fn: types.FunctionType, depth: int) -> list:
+    tokens: list = ["function", fn.__qualname__, _code_tokens(fn.__code__, depth)]
+    if fn.__defaults__:
+        tokens.append([_canonical(v, depth + 1) for v in fn.__defaults__])
+    if fn.__kwdefaults__:
+        tokens.append(
+            sorted(
+                (k, _canonical(v, depth + 1))
+                for k, v in fn.__kwdefaults__.items()
+            )
+        )
+    if fn.__closure__:
+        cells = []
+        for cell in fn.__closure__:
+            try:
+                cells.append(_canonical(cell.cell_contents, depth + 1))
+            except ValueError:  # empty cell (still being defined)
+                cells.append("<empty-cell>")
+        tokens.append(cells)
+    return tokens
+
+
+def _class_tokens(cls: type, depth: int) -> list:
+    """Digest every function defined anywhere in ``cls``'s MRO.
+
+    A bound method's behaviour routinely spans helpers on the same class
+    (``step`` calling ``self._step``), so digesting only the entry point
+    would miss edits to the helpers.  Hashing all function code objects in
+    the MRO over-approximates the call graph, which is the safe direction.
+    """
+    tokens: list = ["class", f"{cls.__module__}.{cls.__qualname__}"]
+    for klass in cls.__mro__:
+        if klass in (object,):
+            continue
+        for attr_name in sorted(vars(klass)):
+            attr = vars(klass)[attr_name]
+            if isinstance(attr, (staticmethod, classmethod)):
+                attr = attr.__func__
+            if isinstance(attr, property):
+                for accessor in (attr.fget, attr.fset, attr.fdel):
+                    if isinstance(accessor, types.FunctionType):
+                        tokens.append(
+                            [attr_name, _function_tokens(accessor, depth + 1)]
+                        )
+                continue
+            if isinstance(attr, types.FunctionType):
+                tokens.append([attr_name, _function_tokens(attr, depth + 1)])
+    return tokens
+
+
+def _canonical(value: Any, depth: int = 0) -> Any:
+    """Reduce ``value`` to a JSON-free canonical token tree.
+
+    Raises :class:`UnstableDigest` on anything whose identity-vs-value
+    semantics cannot be pinned down (open files, modules, arbitrary C
+    objects, cyclic structures past the depth cap).
+    """
+    if depth > _MAX_DEPTH:
+        raise UnstableDigest("value nesting exceeds the canonicalization depth cap")
+    if isinstance(value, _PRIMITIVES):
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, (tuple, list)):
+        return [type(value).__name__] + [_canonical(v, depth + 1) for v in value]
+    if isinstance(value, (set, frozenset)):
+        try:
+            members = sorted(_canonical(v, depth + 1) for v in value)
+        except TypeError as exc:
+            raise UnstableDigest(f"unorderable set members: {exc}") from exc
+        return [type(value).__name__] + members
+    if isinstance(value, dict):
+        try:
+            items = sorted(
+                (_canonical(k, depth + 1), _canonical(v, depth + 1))
+                for k, v in value.items()
+            )
+        except TypeError as exc:
+            raise UnstableDigest(f"unorderable dict keys: {exc}") from exc
+        return ["dict"] + items
+    if isinstance(value, types.FunctionType):
+        return _function_tokens(value, depth)
+    if isinstance(value, types.MethodType):
+        fn = value.__func__
+        owner = type(value.__self__)
+        tokens = ["method", fn.__qualname__, _class_tokens(owner, depth)]
+        tokens.append(_canonical(getattr(value.__self__, "__dict__", {}), depth + 1))
+        return tokens
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [
+            "dataclass",
+            f"{type(value).__module__}.{type(value).__qualname__}",
+            _canonical(dataclasses.asdict(value), depth + 1),
+        ]
+    if isinstance(value, type):
+        return _class_tokens(value, depth)
+    instance_dict = getattr(value, "__dict__", None)
+    if isinstance(instance_dict, dict):
+        return [
+            "instance",
+            _class_tokens(type(value), depth),
+            _canonical(instance_dict, depth + 1),
+        ]
+    raise UnstableDigest(
+        f"cannot canonicalize {type(value).__module__}.{type(value).__qualname__}"
+    )
+
+
+def canonical_digest(value: Any) -> str:
+    """SHA-256 of the canonical token tree of ``value``.
+
+    Raises :class:`UnstableDigest` when canonicalization fails.
+    """
+    return _digest(repr(_canonical(value)).encode())
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelFingerprint:
+    """Per-component digests of one :class:`SyncModel`.
+
+    Every field is a string or tuple of strings, so fingerprints pickle
+    small and compare with ``==``.  ``rules`` preserves declaration order
+    (rule rewrites compose, so order is semantic).  ``stable=False`` means
+    some component resisted canonicalization; such a fingerprint must
+    always be treated as "unknown model" by diffs.
+    """
+
+    schema: str
+    name: str
+    state_vars: Tuple[Tuple[str, str], ...]
+    choices: Tuple[Tuple[str, str], ...]
+    invariants: Tuple[Tuple[str, str], ...]
+    base_step: str
+    rules: Tuple[Tuple[str, str], ...]
+    stable: bool
+
+    def core(self) -> Tuple:
+        """Everything except the rule list -- the "same base model" test."""
+        return (
+            self.schema,
+            self.name,
+            self.state_vars,
+            self.choices,
+            self.invariants,
+            self.base_step,
+        )
+
+
+def fingerprint_model(model: SyncModel) -> ModelFingerprint:
+    """Fingerprint ``model``; never raises (unstable parts degrade)."""
+    stable = True
+
+    def safe(value: Any) -> str:
+        nonlocal stable
+        try:
+            return canonical_digest(value)
+        except UnstableDigest:
+            stable = False
+            return "<unstable>"
+
+    state_vars = tuple(
+        (v.name, safe((v.name, v.type, v.reset))) for v in model.state_vars
+    )
+    choices = tuple(
+        (c.name, safe((c.name, c.type, c.guard, c.inactive_value)))
+        for c in model.choices
+    )
+    invariants = tuple(
+        sorted((name, safe(pred)) for name, pred in model.invariants.items())
+    )
+    base = model.base_step if model.base_step is not None else model._next_state
+    base_step = safe(base)
+    # A rule that knows its own semantic digest (ModelEdit.digest) is
+    # preferred: the diff's added-rule digests must match what the
+    # incremental layer computes for the pipeline's edits.
+    def rule_digest(rule: Any) -> str:
+        nonlocal stable
+        digest = getattr(rule, "digest", None)
+        if callable(digest):
+            try:
+                return digest()
+            except UnstableDigest:
+                stable = False
+                return "<unstable>"
+        return safe(rule)
+
+    rules = tuple(
+        (getattr(rule, "name", f"rule{i}"), rule_digest(rule))
+        for i, rule in enumerate(model.rules)
+    )
+    return ModelFingerprint(
+        schema=FINGERPRINT_SCHEMA,
+        name=model.name,
+        state_vars=state_vars,
+        choices=choices,
+        invariants=invariants,
+        base_step=base_step,
+        rules=rules,
+        stable=stable,
+    )

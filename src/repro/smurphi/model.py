@@ -97,6 +97,16 @@ class SyncModel:
     invariants:
         Optional named predicates over states, checked during enumeration
         (a Murphi feature; handy for catching modeling errors early).
+    rules:
+        Optional metadata: the ordered transition-rule objects (model
+        edits/rewrites) composed into ``next_state``, for semantic
+        fingerprinting and diffing (:mod:`repro.smurphi.fingerprint`).
+        Never executed here -- ``next_state`` already includes them.
+    base_step:
+        Optional metadata: the unedited step function ``rules`` were
+        layered onto.  With ``rules``, lets a diff separate "same base
+        model, extra rewrites appended" (localized) from "different model"
+        (structural).
 
     >>> from repro.smurphi import BoolType
     >>> toggle = SyncModel(
@@ -116,12 +126,16 @@ class SyncModel:
         choices: Sequence[ChoicePoint],
         next_state: Callable[[Mapping, Mapping], State],
         invariants: Optional[Mapping[str, Callable[[Mapping], bool]]] = None,
+        rules: Optional[Sequence] = None,
+        base_step: Optional[Callable[[Mapping, Mapping], State]] = None,
     ):
         self.name = name
         self.state_vars = list(state_vars)
         self.choices = list(choices)
         self._next_state = next_state
         self.invariants = dict(invariants or {})
+        self.rules = tuple(rules or ())
+        self.base_step = base_step
         self._check_declarations()
 
     def _check_declarations(self) -> None:

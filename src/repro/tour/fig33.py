@@ -95,6 +95,25 @@ class TourSet:
         """True when the union of tours covers every arc in the graph."""
         return self.stats.covered_edges == self.graph.num_edges
 
+    def to_json(self) -> str:
+        """Canonical serialization of the tour *content*.
+
+        Deliberately excludes ``generation_seconds`` (and the graph, which
+        has its own ``to_json``): two runs that produced the same tours
+        must serialize identically, which is how the incremental layer's
+        byte-for-byte equivalence with cold builds is asserted.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "tours": [
+                    {"edge_indices": list(t.edge_indices), "instructions": t.instructions}
+                    for t in self.tours
+                ],
+            }
+        )
+
     def __iter__(self):
         return iter(self.tours)
 

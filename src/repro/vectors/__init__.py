@@ -15,7 +15,9 @@ from repro.vectors.generator import (
     TestVectorTrace,
     TraceSet,
     TransitionEventMemo,
+    pack_trace_set,
     pp_instruction_cost,
+    unpack_trace_set,
 )
 from repro.vectors.force import force_script
 
@@ -24,6 +26,8 @@ __all__ = [
     "TestVectorTrace",
     "TraceSet",
     "TransitionEventMemo",
+    "pack_trace_set",
     "pp_instruction_cost",
+    "unpack_trace_set",
     "force_script",
 ]

@@ -96,6 +96,108 @@ class TraceSet:
     def __len__(self) -> int:
         return len(self.traces)
 
+    def to_json(self) -> str:
+        """Canonical serialization of every trace's program and queues.
+
+        Instructions flatten to their integer fields (opcodes are
+        ``IntEnum``).  Used to assert byte-for-byte equivalence between
+        incremental and cold builds.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "traces": [
+                    {
+                        "program": [
+                            [int(i.opcode), i.rd, i.rs, i.rt, i.imm]
+                            for i in t.program
+                        ],
+                        "fetch_hits": t.fetch_hits,
+                        "dcache_hits": t.dcache_hits,
+                        "inbox_ready": t.inbox_ready,
+                        "outbox_ready": t.outbox_ready,
+                        "victim_dirty": t.victim_dirty,
+                        "mem_pace": t.mem_pace,
+                        "edges_traversed": t.edges_traversed,
+                    }
+                    for t in self.traces
+                ],
+            }
+        )
+
+
+def pack_trace_set(trace_set: TraceSet) -> Dict:
+    """Compact cache payload for a :class:`TraceSet`.
+
+    Programs repeat a small pool of biased-random instructions, so the
+    encoding interns unique instructions into a table and stores per-trace
+    index lists.  Unpacking (:func:`unpack_trace_set`) rebuilds each
+    unique :class:`Instruction` exactly once, which loads ~4x faster than
+    unpickling one dataclass object per program slot -- the difference
+    between a no-op revalidation and a noticeable pause.
+    """
+    table: Dict[Instruction, int] = {}
+    rows = []
+    for trace in trace_set.traces:
+        indices = []
+        for ins in trace.program:
+            index = table.get(ins)
+            if index is None:
+                index = len(table)
+                table[ins] = index
+            indices.append(index)
+        rows.append(
+            (
+                indices,
+                trace.fetch_hits,
+                trace.dcache_hits,
+                trace.inbox_ready,
+                trace.outbox_ready,
+                trace.victim_dirty,
+                trace.mem_pace,
+                trace.edges_traversed,
+            )
+        )
+    return {
+        "table": [(int(i.opcode), i.rd, i.rs, i.rt, i.imm) for i in table],
+        "rows": rows,
+    }
+
+
+def unpack_trace_set(payload: Dict) -> TraceSet:
+    """Inverse of :func:`pack_trace_set`.
+
+    Rebuilds instructions via ``__new__`` + ``object.__setattr__``: the
+    packed fields came from real instructions, so re-running the
+    dataclass range validation per slot would only cost time.
+    """
+    by_value = {int(op): op for op in Opcode}
+    table: List[Instruction] = []
+    for opcode, rd, rs, rt, imm in payload["table"]:
+        ins = Instruction.__new__(Instruction)
+        object.__setattr__(ins, "opcode", by_value[opcode])
+        object.__setattr__(ins, "rd", rd)
+        object.__setattr__(ins, "rs", rs)
+        object.__setattr__(ins, "rt", rt)
+        object.__setattr__(ins, "imm", imm)
+        table.append(ins)
+    traces = []
+    for indices, fh, dh, ir, our, vd, mp, edges in payload["rows"]:
+        traces.append(
+            TestVectorTrace(
+                program=[table[i] for i in indices],
+                fetch_hits=fh,
+                dcache_hits=dh,
+                inbox_ready=ir,
+                outbox_ready=our,
+                victim_dirty=vd,
+                mem_pace=mp,
+                edges_traversed=edges,
+            )
+        )
+    return TraceSet(traces=traces)
+
 
 class TransitionEventMemo:
     """Per-model memo of everything vector generation needs per arc.

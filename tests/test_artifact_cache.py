@@ -100,15 +100,23 @@ class TestArtifactCache:
         assert not cache.has("p" * 64)
 
 
+def _small_phase_keys():
+    from repro.core.cache import pipeline_phase_keys
+
+    return pipeline_phase_keys(
+        SMALL["model_config"],
+        max_instructions_per_trace=SMALL["max_instructions_per_trace"],
+    )
+
+
 class TestPipelineCaching:
     def test_cold_build_stores_and_reports_built(self, warm_cache_dir):
-        # The module fixture performed the cold build; its entry must exist.
+        # The module fixture performed the cold build; every phase entry
+        # (plus the tours' splice sidecar) must exist under its own key.
         cache = ArtifactCache(warm_cache_dir)
-        key = artifact_key(
-            SMALL["model_config"],
-            max_instructions_per_trace=SMALL["max_instructions_per_trace"],
-        )
-        assert cache.has(key)
+        keys = _small_phase_keys()
+        for phase in ("model", "graph", "tours", "splice", "traces"):
+            assert cache.has(keys[phase]), phase
 
     def test_warm_hit_skips_enumeration_and_matches(self, warm_cache_dir):
         pipeline = ValidationPipeline(cache_dir=str(warm_cache_dir), **SMALL)
@@ -263,10 +271,7 @@ class TestSingleFlight:
             process.join(timeout=180)
             assert process.exitcode == 0
         cache = ArtifactCache(tmp_path)
-        key = artifact_key(
-            SMALL["model_config"],
-            max_instructions_per_trace=SMALL["max_instructions_per_trace"],
-        )
+        key = _small_phase_keys()["traces"]
         assert cache.has(key)
         assert cache.build_count(key) == 1
 
@@ -275,3 +280,217 @@ def _racing_build(cache_dir, barrier):
     barrier.wait(timeout=60)
     pipeline = ValidationPipeline(cache_dir=cache_dir, **SMALL)
     pipeline.build()
+
+
+class TestArtifactKeyEdgeCases:
+    """The corners of the keying scheme (ISSUE: PR 10, satellite c)."""
+
+    def test_non_dataclass_configs_with_colliding_reprs_get_distinct_keys(self):
+        # Two *distinct* config classes whose reprs collide must not share
+        # a cache entry: config_payload tags the payload with the concrete
+        # type's qualified name, so the repr fallback cannot alias.
+        class ConfigA:
+            def __repr__(self):
+                return "Config(n=1)"
+
+        class ConfigB:
+            def __repr__(self):
+                return "Config(n=1)"
+
+        from repro.core.cache import config_payload
+
+        assert repr(ConfigA()) == repr(ConfigB())
+        assert artifact_key(ConfigA()) != artifact_key(ConfigB())
+        assert config_payload(ConfigA())["type"] != config_payload(ConfigB())["type"]
+
+    def test_same_non_dataclass_type_keys_by_repr(self):
+        class Config:
+            def __init__(self, n):
+                self.n = n
+
+            def __repr__(self):
+                return f"Config(n={self.n})"
+
+        assert artifact_key(Config(1)) == artifact_key(Config(1))
+        assert artifact_key(Config(1)) != artifact_key(Config(2))
+
+    def test_extra_dict_ordering_is_canonical(self):
+        # json.dumps(sort_keys=True) canonicalizes insertion order; two
+        # logically equal extras must address the same entry.
+        cfg = PPModelConfig(fill_words=1)
+        assert artifact_key(cfg, extra={"a": 1, "b": 2}) == artifact_key(
+            cfg, extra={"b": 2, "a": 1}
+        )
+
+    def test_extra_participates_in_the_key(self):
+        cfg = PPModelConfig(fill_words=1)
+        base = artifact_key(cfg)
+        assert artifact_key(cfg, extra={"variant": "x"}) != base
+        assert artifact_key(cfg, extra={"variant": "y"}) != artifact_key(
+            cfg, extra={"variant": "x"}
+        )
+        # An explicitly empty extra is the same build as no extra at all.
+        assert artifact_key(cfg, extra=None) == base
+
+
+class TestPhaseCodeDigests:
+    """Per-phase code digests: the invalidation matrix (PR 10 tentpole)."""
+
+    def _tree(self, tmp_path, **files):
+        for rel, content in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content)
+        return tmp_path
+
+    def test_obs_only_edit_invalidates_no_phase(self, tmp_path):
+        from repro.core.cache import PHASES, phase_code_version
+
+        root = self._tree(
+            tmp_path,
+            **{
+                "smurphi/model.py": "A = 1\n",
+                "enumeration/bfs.py": "B = 1\n",
+                "tour/gen.py": "C = 1\n",
+                "vectors/gen.py": "D = 1\n",
+                "pp/model.py": "E = 1\n",
+                "incremental/replay.py": "F = 1\n",
+                "obs/observer.py": "OBS = 1\n",
+            },
+        )
+        before = {p: phase_code_version(p, package_root=root) for p in PHASES}
+        (root / "obs/observer.py").write_text("OBS = 2  # edited\n")
+        after = {p: phase_code_version(p, package_root=root) for p in PHASES}
+        assert before == after
+
+    def test_tour_edit_keeps_model_and_graph(self, tmp_path):
+        from repro.core.cache import phase_code_version
+
+        root = self._tree(
+            tmp_path,
+            **{
+                "smurphi/model.py": "A = 1\n",
+                "enumeration/bfs.py": "B = 1\n",
+                "tour/gen.py": "C = 1\n",
+                "vectors/gen.py": "D = 1\n",
+                "pp/model.py": "E = 1\n",
+                "incremental/replay.py": "F = 1\n",
+            },
+        )
+        before = {
+            p: phase_code_version(p, package_root=root)
+            for p in ("model", "graph", "tours", "traces")
+        }
+        (root / "tour/gen.py").write_text("C = 2\n")
+        after = {
+            p: phase_code_version(p, package_root=root)
+            for p in ("model", "graph", "tours", "traces")
+        }
+        assert after["model"] == before["model"]
+        assert after["graph"] == before["graph"]
+        assert after["tours"] != before["tours"]
+        # traces only sees tour edits through the key *chain*, not its
+        # own digest (tour/ is not in the traces module set).
+        assert after["traces"] == before["traces"]
+
+    def test_incremental_edit_invalidates_produced_phases(self, tmp_path):
+        # The incremental layer can *write* graph/tours/traces entries, so
+        # a bug fix to it must re-key them -- but never the model phase.
+        from repro.core.cache import phase_code_version
+
+        root = self._tree(
+            tmp_path,
+            **{
+                "smurphi/model.py": "A = 1\n",
+                "enumeration/bfs.py": "B = 1\n",
+                "incremental/replay.py": "F = 1\n",
+            },
+        )
+        before = {
+            p: phase_code_version(p, package_root=root)
+            for p in ("model", "graph", "tours", "traces")
+        }
+        (root / "incremental/replay.py").write_text("F = 2\n")
+        after = {
+            p: phase_code_version(p, package_root=root)
+            for p in ("model", "graph", "tours", "traces")
+        }
+        assert after["model"] == before["model"]
+        assert after["graph"] != before["graph"]
+        assert after["tours"] != before["tours"]
+        assert after["traces"] != before["traces"]
+
+    def test_obs_only_edit_leaves_every_pipeline_phase_key_unchanged(self, tmp_path):
+        # End to end over the key chain: phase keys derived from digests of
+        # a tree with only an obs/ edit are identical, so *nothing* rebuilds.
+        from repro.core.cache import PHASES, phase_code_version, pipeline_phase_keys
+
+        root = self._tree(
+            tmp_path,
+            **{
+                "smurphi/model.py": "A = 1\n",
+                "enumeration/bfs.py": "B = 1\n",
+                "obs/observer.py": "OBS = 1\n",
+            },
+        )
+
+        def keys():
+            digests = {
+                p: phase_code_version(p, package_root=root) for p in PHASES
+            }
+            return pipeline_phase_keys(
+                PPModelConfig(fill_words=1), code_digests=digests
+            )
+
+        before = keys()
+        (root / "obs/observer.py").write_text("OBS = 99\n")
+        assert keys() == before
+
+
+class TestCodeVersionRefresh:
+    """The staleness escape hatch (ISSUE: PR 10, satellite a)."""
+
+    def test_refresh_recomputes_after_an_edit(self, tmp_path, monkeypatch):
+        import repro.core.cache as cache_mod
+
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text("X = 1\n")
+        monkeypatch.setattr(cache_mod, "_package_root", lambda: root)
+        monkeypatch.setattr(cache_mod, "_CODE_VERSION", None)
+        monkeypatch.setattr(cache_mod, "_PHASE_CODE_VERSIONS", {})
+
+        first = cache_mod.code_version()
+        (root / "mod.py").write_text("X = 2\n")
+        # The memo hides the edit until a refresh -- this is exactly the
+        # long-lived-daemon staleness the serve startup path guards against.
+        assert cache_mod.code_version() == first
+        assert cache_mod.code_version(refresh=True) != first
+
+    def test_refresh_drops_phase_memos(self, tmp_path, monkeypatch):
+        import repro.core.cache as cache_mod
+
+        root = tmp_path / "pkg"
+        (root / "smurphi").mkdir(parents=True)
+        (root / "smurphi" / "m.py").write_text("A = 1\n")
+        monkeypatch.setattr(cache_mod, "_package_root", lambda: root)
+        monkeypatch.setattr(cache_mod, "_CODE_VERSION", None)
+        monkeypatch.setattr(cache_mod, "_PHASE_CODE_VERSIONS", {})
+
+        first = cache_mod.phase_code_version("model")
+        (root / "smurphi" / "m.py").write_text("A = 2\n")
+        assert cache_mod.phase_code_version("model") == first  # memoized
+        cache_mod.code_version(refresh=True)
+        assert cache_mod.phase_code_version("model") != first
+
+    def test_manifests_record_digest_provenance(self, tmp_path):
+        from repro.core.cache import code_version_info
+
+        cache = ArtifactCache(tmp_path)
+        cache.store("m" * 64, [1], manifest={})
+        manifest = json.loads(cache.manifest_path("m" * 64).read_text())
+        info = code_version_info()
+        assert manifest["code_version"] == info["code_version"]
+        assert manifest["code_computed_at"] == pytest.approx(
+            info["code_computed_at"]
+        )

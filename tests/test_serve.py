@@ -564,8 +564,91 @@ class TestChaosDedup:
                      (p.stem for p in Path(daemon_dir / "cache")
                       .glob("*.builds"))
                      if cache.build_count(key) > 0]
-            assert len(built) == 1
-            assert cache.build_count(built[0]) == 1
+            # One pipeline build persists one entry per phase (model/
+            # graph/tours/splice/traces); single-flight means the twins
+            # still produced exactly one build of each.
+            assert len(built) == 5
+            for key in built:
+                assert cache.build_count(key) == 1
+        finally:
+            daemon.stop()
+
+
+class TestIncrementalResubmit:
+    def test_edit_resubmit_served_incrementally_with_identical_artifacts(
+            self, daemon_dir):
+        """Submit, edit the model, resubmit: the rerun splices, not rebuilds.
+
+        ``noop-touch`` is a catalog edit whose scope matches no state, so
+        the edited model is semantically distinct (new job, new cache keys)
+        but produces byte-identical artifacts -- the strongest check that
+        the localized path adopted rather than recomputed.
+        """
+        daemon = Daemon(daemon_dir, "--workers", "1")
+        try:
+            status, doc, _ = daemon.request("POST", "/jobs", {
+                "kind": "validate", "params": {"limit": 100},
+            })
+            assert status == 202
+            first = daemon.wait_job(doc["job_id"])
+            assert first["state"] == "done"
+            cache_a = first["result"]["cache"]
+            assert cache_a["incremental"]["enabled"] is True
+            assert cache_a["phase_hits"] == {
+                "model": False, "graph": False, "tours": False,
+                "traces": False,
+            }
+            graph_a = Path(first["result"]["graph_path"]).read_text()
+
+            status, doc, _ = daemon.request("POST", "/jobs", {
+                "kind": "validate",
+                "params": {"limit": 100, "edits": ["noop-touch"]},
+            })
+            assert status == 202, "edited params must be a distinct job"
+            job_id = doc["job_id"]
+            second = daemon.wait_job(job_id)
+            assert second["state"] == "done"
+            assert second["result"]["edits"] == ["noop-touch"]
+            cache_b = second["result"]["cache"]
+            incremental = cache_b["incremental"]
+            assert incremental["classification"] == "localized"
+            assert incremental["base_key"] == cache_a["key"]
+            assert incremental["region_states"] == 0
+            assert incremental["spliced_tours"] > 0
+            assert incremental["regenerated_traces"] == 0
+            assert cache_b["phase_hits"] == {
+                "model": False, "graph": True, "tours": True, "traces": True,
+            }
+            graph_b = Path(second["result"]["graph_path"]).read_text()
+            assert graph_b == graph_a
+
+            # The per-phase hits also ride the SSE heartbeat stream.
+            sock = socket.create_connection(("127.0.0.1", daemon.port),
+                                            timeout=60)
+            sock.sendall(f"GET /jobs/{job_id}/events HTTP/1.1\r\n"
+                         "Host: t\r\n\r\n".encode())
+            blob = b""
+            while b"event: done" not in blob:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                blob += chunk
+            sock.close()
+            frames = parse_sse(blob.decode().split("\r\n\r\n", 1)[1])
+            cache_beats = [data for kind, data in frames
+                           if kind == "heartbeat"
+                           and data["phase"] == "cache"]
+            assert cache_beats
+            assert cache_beats[-1]["fields"]["phase_hits"] == {
+                "model": False, "graph": True, "tours": True, "traces": True,
+            }
+
+            # Unknown edit names are rejected at submission time.
+            status, doc, _ = daemon.request("POST", "/jobs", {
+                "kind": "validate", "params": {"edits": ["no-such-edit"]},
+            })
+            assert status == 400
+            assert "no-such-edit" in doc["error"]
         finally:
             daemon.stop()
 
